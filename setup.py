@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on systems
+without the `wheel` package (this offline environment)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Adaptors (Section VII): ShardingSphere-JDBC and ShardingSphere-Proxy."""
+
+from .jdbc import ShardingConnection, ShardingDataSource, ShardingResult
+from .proxy import ShardingProxyServer
+from .runtime import ShardingRuntime
+
+__all__ = [
+    "ShardingRuntime",
+    "ShardingDataSource",
+    "ShardingConnection",
+    "ShardingResult",
+    "ShardingProxyServer",
+]

@@ -1,0 +1,154 @@
+"""ShardingSphere-Proxy adaptor: a standalone TCP server.
+
+The proxy hosts a :class:`ShardingRuntime` behind the wire protocol of
+:mod:`repro.protocol`, mimicking how the real ShardingSphere-Proxy
+disguises itself as a MySQL/PostgreSQL server. Each client session gets
+its own :class:`ShardingConnection`, so transactions and hints are
+per-session. Every request really crosses a socket — this is what makes
+the SSJ-vs-SSP gap of the paper's tables measurable here.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from ..exceptions import ShardingSphereError
+from ..protocol.message import PacketType, read_packet, send_packet
+from .jdbc import ShardingConnection
+from .runtime import ShardingRuntime
+
+ROW_BATCH_SIZE = 200
+
+
+class ShardingProxyServer:
+    """Threaded TCP server fronting one runtime."""
+
+    def __init__(self, runtime: ShardingRuntime, host: str = "127.0.0.1", port: int = 0):
+        self.runtime = runtime
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._clients: set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self.sessions_served = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ShardingProxyServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self._requested_port))
+        sock.listen(128)
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        self._stop.clear()
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True, name="ss-proxy-accept")
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        with self._lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ShardingProxyServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- serving -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                client, _ = self._sock.accept()
+            except OSError:
+                return
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._clients.add(client)
+                self.sessions_served += 1
+            thread = threading.Thread(
+                target=self._serve_client, args=(client,), daemon=True, name="ss-proxy-conn"
+            )
+            thread.start()
+
+    def _serve_client(self, client: socket.socket) -> None:
+        connection = ShardingConnection(self.runtime)
+        try:
+            packet_type, body = read_packet(client)
+            if packet_type is not PacketType.HANDSHAKE:
+                send_packet(client, PacketType.ERROR, {"message": "expected handshake"})
+                return
+            send_packet(
+                client,
+                PacketType.HANDSHAKE_OK,
+                {"server": "repro-shardingsphere-proxy", "version": "5.0.0-repro"},
+            )
+            while not self._stop.is_set():
+                packet_type, body = read_packet(client)
+                if packet_type is PacketType.QUIT:
+                    return
+                if packet_type is not PacketType.QUERY:
+                    send_packet(client, PacketType.ERROR, {"message": f"unexpected {packet_type.name}"})
+                    continue
+                self._handle_query(client, connection, body or {})
+        except (ShardingSphereError, OSError):
+            pass
+        finally:
+            connection.close()
+            with self._lock:
+                self._clients.discard(client)
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _handle_query(self, client: socket.socket, connection: ShardingConnection, body: dict) -> None:
+        sql = body.get("sql", "")
+        params = tuple(body.get("params") or ())
+        try:
+            result = connection.execute(sql, params)
+        except ShardingSphereError as exc:
+            send_packet(
+                client, PacketType.ERROR,
+                {"message": str(exc), "type": type(exc).__name__},
+            )
+            return
+        if result.description is None:
+            send_packet(
+                client, PacketType.OK,
+                {
+                    "rowcount": result.rowcount,
+                    "message": result.message or "OK",
+                    "generated_keys": result.generated_keys,
+                },
+            )
+            return
+        send_packet(client, PacketType.RESULT_HEADER, {"columns": result.columns})
+        while True:
+            batch = result.fetchmany(ROW_BATCH_SIZE)
+            if not batch:
+                break
+            send_packet(client, PacketType.ROW_BATCH, {"rows": [list(r) for r in batch]})
+        send_packet(client, PacketType.RESULT_END, {})

@@ -1,0 +1,190 @@
+"""ShardingRuntime: the shared state behind both adaptors.
+
+One runtime bundles the fleet of data sources, the live sharding rule, the
+SQL engine, the transaction manager, the session variables and the
+Governor's config center. ShardingSphere-JDBC embeds a runtime in-process;
+ShardingSphere-Proxy hosts one behind a TCP server. Deploying both against
+the same Governor is the paper's "share the same Governor" deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..engine import Feature, SQLEngine
+from ..engine.context import build_context
+from ..engine.rewriter import rewrite
+from ..engine.router import route
+from ..exceptions import DistSQLError, ShardingConfigError
+from ..features import ReadWriteGroup, ReadWriteSplittingFeature
+from ..governor import ConfigCenter
+from ..sharding import ShardingRule
+from ..sql import parse
+from ..sql.dialects import get_dialect
+from ..storage import DataSource, LatencyModel
+from ..transaction import TransactionManager, TransactionType
+
+
+class ShardingRuntime:
+    """Live configuration + engine of one ShardingSphere deployment."""
+
+    def __init__(
+        self,
+        data_sources: Mapping[str, DataSource] | None = None,
+        rule: ShardingRule | None = None,
+        max_connections_per_query: int = 1,
+        features: Sequence[Feature] = (),
+        config_center: ConfigCenter | None = None,
+        transaction_type: TransactionType = TransactionType.LOCAL,
+        default_latency: LatencyModel | None = None,
+        worker_threads: int = 32,
+    ):
+        self.data_sources: dict[str, DataSource] = dict(data_sources or {})
+        self.rule = rule if rule is not None else ShardingRule()
+        if self.rule.default_data_source is None and self.data_sources:
+            self.rule.default_data_source = next(iter(self.data_sources))
+        self.default_latency = default_latency
+        self.config_center = config_center if config_center is not None else ConfigCenter()
+        self.engine = SQLEngine(
+            self.data_sources,
+            self.rule,
+            max_connections_per_query=max_connections_per_query,
+            features=list(features),
+            worker_threads=worker_threads,
+        )
+        self.transaction_manager = TransactionManager(self.data_sources, transaction_type)
+        self.variables: dict[str, Any] = {
+            "transaction_type": transaction_type.value,
+            "max_connections_per_query": max_connections_per_query,
+        }
+        self._rwsplit_feature: ReadWriteSplittingFeature | None = None
+        for name, source in self.data_sources.items():
+            self.config_center.register_data_source(name, {"dialect": source.dialect.name})
+
+    def close(self) -> None:
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Resource management (DistSQL RDL)
+    # ------------------------------------------------------------------
+
+    def register_resource(self, name: str, props: dict[str, Any] | None = None) -> DataSource:
+        props = dict(props or {})
+        dialect = get_dialect(str(props.get("dialect", "MySQL")))
+        source = DataSource(
+            name,
+            dialect=dialect,
+            latency=self.default_latency,
+            pool_size=int(props.get("pool_size", 64)),
+        )
+        self.data_sources[name] = source
+        if self.rule.default_data_source is None:
+            self.rule.default_data_source = name
+        self.config_center.register_data_source(name, {"dialect": dialect.name})
+        return source
+
+    def add_resource(self, name: str, source: DataSource) -> None:
+        """Register an already-built DataSource object."""
+        self.data_sources[name] = source
+        if self.rule.default_data_source is None:
+            self.rule.default_data_source = name
+        self.config_center.register_data_source(name, {"dialect": source.dialect.name})
+
+    def unregister_resource(self, name: str) -> None:
+        source = self.data_sources.pop(name, None)
+        if source is not None:
+            source.pool.close()
+        if self.rule.default_data_source == name:
+            self.rule.default_data_source = next(iter(self.data_sources), None)
+        try:
+            self.config_center.remove_data_source(name)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Variables (DistSQL RAL)
+    # ------------------------------------------------------------------
+
+    def set_variable(self, name: str, value: Any) -> None:
+        name = name.lower()
+        if name == "transaction_type":
+            self.transaction_manager.set_type(str(value))
+            self.variables[name] = str(value).upper()
+        elif name == "max_connections_per_query":
+            count = int(value)
+            if count < 1:
+                raise DistSQLError("max_connections_per_query must be >= 1")
+            self.engine.executor.max_connections_per_query = count
+            self.variables[name] = count
+        else:
+            self.variables[name] = value
+        self.config_center.set_prop(name, self.variables[name])
+
+    # ------------------------------------------------------------------
+    # Rule persistence + preview (DistSQL)
+    # ------------------------------------------------------------------
+
+    def persist_rule(self, kind: str, name: str, config: dict[str, Any]) -> None:
+        self.config_center.store_rule(kind, name, config)
+
+    def preview(self, sql: str) -> list[tuple[str, str]]:
+        """Route+rewrite without executing (DistSQL PREVIEW)."""
+        statement = parse(sql)
+        context = build_context(statement, sql, (), self.rule)
+        route_result = route(context, self.rule)
+        rewritten = rewrite(context, route_result, lambda ds: self.data_sources[ds].dialect)
+        return [(u.data_source, u.sql) for u in rewritten.execution_units]
+
+    def load_rules_from_governor(self) -> int:
+        """Rebuild sharding state from the config center (restart recovery).
+
+        A runtime created against an existing Governor — e.g. a proxy
+        instance rejoining the cluster, or a restart after a crash —
+        replays the persisted sharding, binding, broadcast and
+        read-write-splitting rules. Returns how many rules were applied.
+        """
+        from ..sharding import build_auto_table_rule
+
+        applied = 0
+        for name in self.config_center.rule_names("sharding"):
+            config = self.config_center.load_rule("sharding", name)
+            missing = [r for r in config["resources"] if r not in self.data_sources]
+            for resource in missing:
+                self.register_resource(resource)
+            table_rule = build_auto_table_rule(
+                name,
+                config["resources"],
+                sharding_column=config["sharding_column"],
+                algorithm_type=config.get("type", "HASH_MOD"),
+                properties=config.get("props", {}),
+            )
+            self.rule.add_table_rule(table_rule)
+            applied += 1
+        for name in self.config_center.rule_names("binding"):
+            config = self.config_center.load_rule("binding", name)
+            try:
+                self.rule.add_binding_group(config["tables"])
+                applied += 1
+            except ShardingConfigError:
+                pass  # already bound or member rules missing
+        for name in self.config_center.rule_names("broadcast"):
+            config = self.config_center.load_rule("broadcast", name)
+            self.rule.add_broadcast_table(config["table"])
+            applied += 1
+        for name in self.config_center.rule_names("readwrite_splitting"):
+            config = self.config_center.load_rule("readwrite_splitting", name)
+            self.apply_rwsplit_rule(name, config["primary"], config["replicas"])
+            applied += 1
+        for variable in ("transaction_type", "max_connections_per_query"):
+            value = self.config_center.get_prop(variable)
+            if value is not None:
+                self.set_variable(variable, value)
+        return applied
+
+    def apply_rwsplit_rule(self, name: str, primary: str, replicas: list[str]) -> None:
+        group = ReadWriteGroup(name=primary, primary=primary, replicas=list(replicas))
+        if self._rwsplit_feature is None:
+            self._rwsplit_feature = ReadWriteSplittingFeature([group])
+            self.engine.add_feature(self._rwsplit_feature)
+        else:
+            self._rwsplit_feature.groups[group.name] = group

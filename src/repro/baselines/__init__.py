@@ -1,0 +1,30 @@
+"""Baseline systems for the evaluation (Section VIII)."""
+
+from .base import Session, SystemUnderTest
+from .systems import (
+    BENCH_LATENCY,
+    DEFAULT_LATENCY,
+    AuroraLikeSystem,
+    MiddlewareSystem,
+    NewSQLSystem,
+    ShardingJDBCSystem,
+    ShardingProxySystem,
+    SingleNodeSystem,
+)
+from .topology import make_grid_rule, make_grid_sharding, make_sources
+
+__all__ = [
+    "BENCH_LATENCY",
+    "DEFAULT_LATENCY",
+    "SystemUnderTest",
+    "Session",
+    "SingleNodeSystem",
+    "ShardingJDBCSystem",
+    "ShardingProxySystem",
+    "MiddlewareSystem",
+    "NewSQLSystem",
+    "AuroraLikeSystem",
+    "make_sources",
+    "make_grid_rule",
+    "make_grid_sharding",
+]

@@ -1,0 +1,51 @@
+"""Common system-under-test (SUT) interface for the evaluation.
+
+Every system in Section VIII — MS/PG, SSJ, SSP, Vitess/Citus-like
+middlewares, TiDB/CRDB-like NewSQL, Aurora-like — exposes the same two
+calls to the benchmark drivers:
+
+- ``session()`` -> a :class:`Session` with ``execute`` and transaction
+  verbs (one session per benchmark thread);
+- ``close()`` to tear the system down.
+
+Sessions are deliberately minimal; the benchmark drivers never see how a
+system shards, proxies or replicates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Protocol, Sequence
+
+
+class Session(Protocol):
+    """One client session against a system under test."""
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any: ...
+
+    def begin(self) -> None: ...
+
+    def commit(self) -> None: ...
+
+    def rollback(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class SystemUnderTest(abc.ABC):
+    """A benchmarkable database system."""
+
+    name: str = "system"
+
+    @abc.abstractmethod
+    def session(self) -> Session:
+        """Open one client session (per benchmark thread)."""
+
+    def close(self) -> None:
+        """Tear down the system."""
+
+    def __enter__(self) -> "SystemUnderTest":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

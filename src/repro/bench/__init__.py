@@ -1,0 +1,29 @@
+"""Benchmark substrate: Sysbench + TPC-C workloads, runner, reporting."""
+
+from .report import format_table, print_series, sysbench_row, tpcc_row
+from .runner import Measurement, run_benchmark
+from .sysbench import SCENARIOS, SysbenchConfig, SysbenchWorkload
+from .tpcc import (
+    TPCC_BROADCAST_TABLES,
+    TPCC_SHARDED_TABLES,
+    TRANSACTION_MIX,
+    TPCCConfig,
+    TPCCWorkload,
+)
+
+__all__ = [
+    "SysbenchConfig",
+    "SysbenchWorkload",
+    "SCENARIOS",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "TPCC_SHARDED_TABLES",
+    "TPCC_BROADCAST_TABLES",
+    "TRANSACTION_MIX",
+    "Measurement",
+    "run_benchmark",
+    "format_table",
+    "print_series",
+    "sysbench_row",
+    "tpcc_row",
+]

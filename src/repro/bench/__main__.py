@@ -1,0 +1,137 @@
+"""Command-line benchmark runner: ``python -m repro.bench``.
+
+Runs a sysbench scenario or the TPC-C mix against one of the systems
+under test and prints the paper-style row. Examples::
+
+    python -m repro.bench --system ssj --scenario read_write --threads 8
+    python -m repro.bench --system ms --scenario point_select --duration 3
+    python -m repro.bench --workload tpcc --system ssp --threads 4
+    python -m repro.bench --system ssj --transaction-type XA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..baselines import (
+    BENCH_LATENCY,
+    AuroraLikeSystem,
+    MiddlewareSystem,
+    NewSQLSystem,
+    ShardingJDBCSystem,
+    ShardingProxySystem,
+    SingleNodeSystem,
+)
+from ..transaction import TransactionType
+from .report import format_table, sysbench_row, tpcc_row
+from .runner import run_benchmark
+from .sysbench import SCENARIOS, SysbenchConfig, SysbenchWorkload
+from .tpcc import TPCC_BROADCAST_TABLES, TPCC_SHARDED_TABLES, TPCCConfig, TPCCWorkload
+
+SYSTEMS = ("ssj", "ssp", "ms", "middleware", "newsql", "aurora")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run a paper-style benchmark against one system under test.",
+    )
+    parser.add_argument("--workload", choices=("sysbench", "tpcc"), default="sysbench")
+    parser.add_argument("--system", choices=SYSTEMS, default="ssj")
+    parser.add_argument("--scenario", choices=SCENARIOS, default="read_write",
+                        help="sysbench scenario (ignored for tpcc)")
+    parser.add_argument("--table-size", type=int, default=20_000)
+    parser.add_argument("--warehouses", type=int, default=2, help="tpcc scale")
+    parser.add_argument("--sources", type=int, default=4, help="number of data sources")
+    parser.add_argument("--tables-per-source", type=int, default=10)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=2.0, help="seconds")
+    parser.add_argument("--warmup", type=float, default=0.3, help="seconds")
+    parser.add_argument("--maxcon", type=int, default=10,
+                        help="maxConnectionsizePerQuery (Fig. 15's knob)")
+    parser.add_argument("--transaction-type", choices=("LOCAL", "XA", "BASE"),
+                        default="LOCAL")
+    parser.add_argument("--layout", choices=("range", "hash"), default="range")
+    return parser
+
+
+def build_system(args: argparse.Namespace, tables, broadcast=()):
+    grid = dict(
+        num_sources=args.sources,
+        tables_per_source=args.tables_per_source,
+        latency=BENCH_LATENCY,
+    )
+    if args.workload == "sysbench":
+        grid.update(layout=args.layout)
+        if args.layout == "range":
+            grid.update(key_space=args.table_size + 1)
+    if args.system == "ssj":
+        return ShardingJDBCSystem(
+            tables, broadcast_tables=broadcast, name="SSJ",
+            transaction_type=TransactionType.of(args.transaction_type),
+            max_connections_per_query=args.maxcon, **grid,
+        )
+    if args.system == "ssp":
+        return ShardingProxySystem(
+            tables, broadcast_tables=broadcast, name="SSP",
+            max_connections_per_query=args.maxcon, **grid,
+        )
+    if args.system == "middleware":
+        return MiddlewareSystem(tables, broadcast_tables=broadcast, name="Vitess-like", **grid)
+    if args.system == "newsql":
+        return NewSQLSystem(tables, broadcast_tables=broadcast, name="TiDB-like", **grid)
+    if args.system == "ms":
+        return SingleNodeSystem("MS", latency=BENCH_LATENCY)
+    if args.system == "aurora":
+        return AuroraLikeSystem(latency=BENCH_LATENCY, name="Aurora-like")
+    raise SystemExit(f"unknown system {args.system!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.workload == "sysbench":
+        workload = SysbenchWorkload(SysbenchConfig(table_size=args.table_size))
+        system = build_system(args, [("sbtest", "id")])
+        print(f"preparing {args.system} with {args.table_size} rows ...", file=sys.stderr)
+        workload.prepare(system)
+        try:
+            measurement = run_benchmark(
+                system,
+                lambda session, rng: workload.run_transaction(args.scenario, session, rng),
+                scenario=args.scenario, threads=args.threads,
+                duration=args.duration, warmup=args.warmup,
+            )
+        finally:
+            system.close()
+        print(format_table(["System", "TPS", "99T(ms)", "AvgT(ms)"], [sysbench_row(measurement)]))
+        print(f"({measurement.transactions} transactions, {measurement.errors} errors, "
+              f"scenario={args.scenario}, threads={args.threads})")
+        return 0
+
+    workload = TPCCWorkload(TPCCConfig(warehouses=args.warehouses))
+    system = build_system(
+        args, TPCC_SHARDED_TABLES, broadcast=TPCC_BROADCAST_TABLES
+    ) if args.system not in ("ms", "aurora") else build_system(args, [])
+    print(f"preparing TPC-C with {args.warehouses} warehouses ...", file=sys.stderr)
+    workload.prepare(system)
+    try:
+        measurement = run_benchmark(
+            system,
+            lambda session, rng: workload.run_transaction(
+                workload.pick_transaction(rng), session, rng
+            ),
+            scenario="tpcc", threads=args.threads,
+            duration=args.duration, warmup=args.warmup,
+        )
+    finally:
+        system.close()
+    print(format_table(["System", "TPS", "90T(ms)"], [tpcc_row(measurement)]))
+    print(f"({measurement.transactions} transactions, {measurement.errors} errors, "
+          f"threads={args.threads})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Report formatting: print rows/series the way the paper's tables do."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .runner import Measurement
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned text table."""
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def sysbench_row(measurement: Measurement) -> list[Any]:
+    """One Table III/IV row: System, TPS, 99T(ms), AvgT(ms)."""
+    return [
+        measurement.system,
+        round(measurement.tps, 1),
+        round(measurement.p99_ms, 2),
+        round(measurement.avg_ms, 2),
+    ]
+
+
+def tpcc_row(measurement: Measurement) -> list[Any]:
+    """One Fig. 9 row: System, TPS, 90T(ms)."""
+    return [
+        measurement.system,
+        round(measurement.tps, 1),
+        round(measurement.p90_ms, 2),
+    ]
+
+
+def print_series(title: str, x_label: str, xs: Sequence[Any],
+                 series: dict[str, Sequence[float]], unit: str = "") -> str:
+    """Render a figure as a table of series (one row per x value)."""
+    headers = [x_label] + [f"{name}{f' ({unit})' if unit else ''}" for name in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [round(values[i], 2) for values in series.values()])
+    return f"== {title} ==\n" + format_table(headers, rows)

@@ -1,0 +1,12 @@
+"""DistSQL: configure ShardingSphere in the way of using a database."""
+
+from .executor import DistSQLResult, execute_distsql
+from .parser import DistSQLStatement, is_distsql, parse_distsql
+
+__all__ = [
+    "is_distsql",
+    "parse_distsql",
+    "execute_distsql",
+    "DistSQLStatement",
+    "DistSQLResult",
+]

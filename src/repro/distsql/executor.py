@@ -1,0 +1,307 @@
+"""DistSQL executor: applies RDL/RQL/RAL statements to a runtime.
+
+The runtime (usually :class:`repro.adaptors.ShardingRuntime`) provides the
+data sources, the live sharding rule, the variables and the config center;
+the executor mutates them and persists changes through the Governor.
+AutoTable lives here: a ``CREATE SHARDING TABLE RULE`` computes the data
+distribution up front, so a later logical ``CREATE TABLE`` materializes the
+physical shards automatically via DDL broadcast routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from ..exceptions import DistSQLError, ShardingConfigError
+from ..sharding import ShardingRule, available_algorithms, build_auto_table_rule
+from ..storage import DataSource
+from . import parser as p
+
+
+class Runtime(Protocol):
+    """What the executor needs from the hosting adaptor."""
+
+    data_sources: dict[str, DataSource]
+    rule: ShardingRule
+    variables: dict[str, Any]
+
+    def register_resource(self, name: str, props: dict[str, Any]) -> None: ...
+
+    def unregister_resource(self, name: str) -> None: ...
+
+    def set_variable(self, name: str, value: Any) -> None: ...
+
+    def persist_rule(self, kind: str, name: str, config: dict[str, Any]) -> None: ...
+
+    def preview(self, sql: str) -> list[tuple[str, str]]: ...
+
+
+@dataclass
+class DistSQLResult:
+    """Uniform result shape: a tiny result set plus an outcome message."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    message: str = "OK"
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        return list(self.rows)
+
+
+def execute_distsql(sql: str, runtime: Runtime) -> DistSQLResult:
+    """Parse and apply one DistSQL statement."""
+    statement = p.parse_distsql(sql)
+    handler = _HANDLERS.get(type(statement))
+    if handler is None:
+        raise DistSQLError(f"no handler for {type(statement).__name__}")
+    return handler(statement, runtime)
+
+
+# ---------------------------------------------------------------------------
+# RDL
+# ---------------------------------------------------------------------------
+
+
+def _register_resource(stmt: p.RegisterResource, runtime: Runtime) -> DistSQLResult:
+    for name, props in stmt.resources:
+        if name in runtime.data_sources:
+            raise DistSQLError(f"resource {name!r} already registered")
+        runtime.register_resource(name, props)
+    return DistSQLResult(message=f"registered {len(stmt.resources)} resource(s)")
+
+
+def _unregister_resource(stmt: p.UnregisterResource, runtime: Runtime) -> DistSQLResult:
+    for name in stmt.names:
+        if name not in runtime.data_sources:
+            raise DistSQLError(f"resource {name!r} is not registered")
+        in_use = any(
+            name in rule.data_source_names for rule in runtime.rule.table_rules()
+        )
+        if in_use:
+            raise DistSQLError(f"resource {name!r} is referenced by sharding rules")
+        runtime.unregister_resource(name)
+    return DistSQLResult(message=f"unregistered {len(stmt.names)} resource(s)")
+
+
+def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> DistSQLResult:
+    missing = [r for r in stmt.resources if r not in runtime.data_sources]
+    if missing:
+        raise DistSQLError(f"unknown resources {missing}; REGISTER RESOURCE first")
+    if runtime.rule.is_sharded(stmt.table) and not stmt.alter:
+        raise DistSQLError(
+            f"sharding rule for {stmt.table!r} exists; use ALTER SHARDING TABLE RULE"
+        )
+    if not runtime.rule.is_sharded(stmt.table) and stmt.alter:
+        raise DistSQLError(f"no sharding rule for {stmt.table!r} to alter")
+    props = dict(stmt.properties)
+    try:
+        table_rule = build_auto_table_rule(
+            stmt.table,
+            stmt.resources,
+            sharding_column=stmt.sharding_column,
+            algorithm_type=stmt.algorithm_type,
+            properties=props,
+            key_generate_column=stmt.key_generate_column,
+            key_generator_type=stmt.key_generator,
+        )
+    except ShardingConfigError as exc:
+        raise DistSQLError(str(exc)) from exc
+    runtime.rule.add_table_rule(table_rule)
+    runtime.persist_rule(
+        "sharding",
+        stmt.table,
+        {
+            "resources": stmt.resources,
+            "sharding_column": stmt.sharding_column,
+            "type": stmt.algorithm_type,
+            "props": {k: v for k, v in props.items() if not callable(v)},
+        },
+    )
+    verb = "altered" if stmt.alter else "created"
+    return DistSQLResult(
+        message=f"{verb} sharding rule for {stmt.table} over {len(table_rule.data_nodes)} data nodes"
+    )
+
+
+def _drop_sharding_rule(stmt: p.DropShardingTableRule, runtime: Runtime) -> DistSQLResult:
+    try:
+        runtime.rule.drop_table_rule(stmt.table)
+    except ShardingConfigError as exc:
+        raise DistSQLError(str(exc)) from exc
+    return DistSQLResult(message=f"dropped sharding rule for {stmt.table}")
+
+
+def _create_binding(stmt: p.CreateBindingRule, runtime: Runtime) -> DistSQLResult:
+    try:
+        runtime.rule.add_binding_group(stmt.tables)
+    except ShardingConfigError as exc:
+        raise DistSQLError(str(exc)) from exc
+    runtime.persist_rule("binding", "+".join(sorted(stmt.tables)), {"tables": stmt.tables})
+    return DistSQLResult(message=f"bound tables {', '.join(stmt.tables)}")
+
+
+def _create_broadcast(stmt: p.CreateBroadcastRule, runtime: Runtime) -> DistSQLResult:
+    runtime.rule.add_broadcast_table(stmt.table)
+    runtime.persist_rule("broadcast", stmt.table, {"table": stmt.table})
+    return DistSQLResult(message=f"broadcast table {stmt.table}")
+
+
+def _create_rwsplit(stmt: p.CreateReadwriteSplittingRule, runtime: Runtime) -> DistSQLResult:
+    if not stmt.primary or not stmt.replicas:
+        raise DistSQLError("READWRITE_SPLITTING RULE requires PRIMARY and REPLICAS")
+    unknown = [
+        name for name in [stmt.primary, *stmt.replicas] if name not in runtime.data_sources
+    ]
+    if unknown:
+        raise DistSQLError(f"unknown resources {unknown}")
+    runtime.persist_rule(
+        "readwrite_splitting",
+        stmt.name,
+        {"primary": stmt.primary, "replicas": stmt.replicas},
+    )
+    apply_rwsplit = getattr(runtime, "apply_rwsplit_rule", None)
+    if apply_rwsplit is not None:
+        apply_rwsplit(stmt.name, stmt.primary, stmt.replicas)
+    return DistSQLResult(message=f"readwrite-splitting rule {stmt.name} created")
+
+
+# ---------------------------------------------------------------------------
+# RQL
+# ---------------------------------------------------------------------------
+
+
+def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
+    if stmt.subject == "resources":
+        rows = [
+            (name, source.dialect.name, source.database.name)
+            for name, source in sorted(runtime.data_sources.items())
+        ]
+        return DistSQLResult(columns=["name", "dialect", "database"], rows=rows)
+    if stmt.subject == "sharding_rules":
+        rows = []
+        for rule in runtime.rule.table_rules():
+            rows.append(
+                (
+                    rule.logic_table,
+                    ", ".join(str(n) for n in rule.data_nodes),
+                    ", ".join(sorted(rule.sharding_columns)) or "-",
+                    "auto" if rule.auto else "standard",
+                )
+            )
+        return DistSQLResult(
+            columns=["table", "actual_data_nodes", "sharding_column", "kind"], rows=rows
+        )
+    if stmt.subject == "binding_rules":
+        rows = [(", ".join(sorted(group)),) for group in runtime.rule.binding_groups]
+        return DistSQLResult(columns=["binding_tables"], rows=rows)
+    if stmt.subject == "broadcast_rules":
+        rows = [(t,) for t in sorted(runtime.rule.broadcast_tables)]
+        return DistSQLResult(columns=["broadcast_table"], rows=rows)
+    if stmt.subject == "algorithms":
+        rows = [(a,) for a in available_algorithms()]
+        return DistSQLResult(columns=["algorithm"], rows=rows)
+    raise DistSQLError(f"unknown SHOW subject {stmt.subject!r}")
+
+
+# ---------------------------------------------------------------------------
+# RAL
+# ---------------------------------------------------------------------------
+
+_KNOWN_VARIABLES = {"transaction_type", "max_connections_per_query"}
+
+
+def _set_variable(stmt: p.SetVariable, runtime: Runtime) -> DistSQLResult:
+    name = stmt.name.lower()
+    if name not in _KNOWN_VARIABLES:
+        raise DistSQLError(f"unknown variable {stmt.name!r}; known: {sorted(_KNOWN_VARIABLES)}")
+    runtime.set_variable(name, stmt.value)
+    return DistSQLResult(message=f"{name} = {stmt.value}")
+
+
+def _show_variable(stmt: p.ShowVariable, runtime: Runtime) -> DistSQLResult:
+    name = stmt.name.lower()
+    value = runtime.variables.get(name)
+    return DistSQLResult(columns=["variable", "value"], rows=[(name, value)])
+
+
+def _preview(stmt: p.Preview, runtime: Runtime) -> DistSQLResult:
+    rows = runtime.preview(stmt.sql)
+    return DistSQLResult(columns=["data_source", "actual_sql"], rows=list(rows))
+
+
+def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
+    """RAL scaling: build the target AutoTable layout and run the scaling
+    job (prepare -> inventory -> check -> switchover), as Section V-A's
+    "added-on administrator features, such as ... scaling"."""
+    from ..features.scaling import ScalingJob
+
+    if not runtime.rule.is_sharded(stmt.table):
+        raise DistSQLError(f"no sharding rule for table {stmt.table!r} to migrate")
+    missing = [r for r in stmt.resources if r not in runtime.data_sources]
+    if missing:
+        raise DistSQLError(f"unknown resources {missing}; REGISTER RESOURCE first")
+    source_rule = runtime.rule.table_rule(stmt.table)
+    try:
+        target = build_auto_table_rule(
+            stmt.table,
+            stmt.resources,
+            sharding_column=stmt.sharding_column,
+            algorithm_type=stmt.algorithm_type,
+            properties=dict(stmt.properties),
+            key_generate_column=(
+                source_rule.key_generate.column if source_rule.key_generate else None
+            ),
+        )
+    except ShardingConfigError as exc:
+        raise DistSQLError(str(exc)) from exc
+    # Disambiguate target table names from the source generation.
+    generation = 2
+    existing = {node.table.lower() for node in source_rule.data_nodes}
+    while any(node.table.lower() in existing for node in target.data_nodes):
+        from ..sharding import DataNode, TableRule
+
+        target = TableRule(
+            target.logic_table,
+            [DataNode(n.data_source, f"{stmt.table}_g{generation}_{i}")
+             for i, n in enumerate(target.data_nodes)],
+            table_strategy=target.table_strategy,
+            key_generate=target.key_generate,
+            auto=True,
+        )
+        generation += 1
+    job = ScalingJob(runtime.rule, target, runtime.data_sources, drop_source_tables=True)
+    report = job.run()
+    runtime.persist_rule(
+        "sharding",
+        stmt.table,
+        {
+            "resources": stmt.resources,
+            "sharding_column": stmt.sharding_column,
+            "type": stmt.algorithm_type,
+            "props": {k: v for k, v in stmt.properties.items() if not callable(v)},
+        },
+    )
+    return DistSQLResult(
+        columns=["table", "rows_migrated", "source_nodes", "target_nodes", "consistent"],
+        rows=[(stmt.table, report.rows_migrated, report.source_nodes,
+               report.target_nodes, report.consistent)],
+        message=f"migrated {stmt.table}: {report.rows_migrated} rows to "
+                f"{report.target_nodes} shards",
+    )
+
+
+_HANDLERS = {
+    p.RegisterResource: _register_resource,
+    p.UnregisterResource: _unregister_resource,
+    p.CreateShardingTableRule: _create_sharding_rule,
+    p.DropShardingTableRule: _drop_sharding_rule,
+    p.CreateBindingRule: _create_binding,
+    p.CreateBroadcastRule: _create_broadcast,
+    p.CreateReadwriteSplittingRule: _create_rwsplit,
+    p.ShowStatement: _show,
+    p.SetVariable: _set_variable,
+    p.ShowVariable: _show_variable,
+    p.Preview: _preview,
+    p.MigrateTable: _migrate_table,
+}

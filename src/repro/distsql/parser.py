@@ -1,0 +1,401 @@
+"""DistSQL parser (Section V-A): RDL, RQL and RAL statements.
+
+DistSQL is not standard SQL, so it gets its own small parser on top of the
+shared lexer. Supported grammar (case-insensitive):
+
+RDL (Resource & Rule Definition Language)::
+
+    REGISTER RESOURCE ds0 [(PROPERTIES("dialect"='MySQL'))] [, ds1 ...]
+    UNREGISTER RESOURCE ds0
+    CREATE|ALTER SHARDING TABLE RULE t_user (
+        RESOURCES(ds0, ds1),
+        SHARDING_COLUMN=uid, TYPE=hash_mod,
+        PROPERTIES("sharding-count"=2)
+        [, KEY_GENERATE_COLUMN=uid, KEY_GENERATOR=snowflake]
+    )
+    DROP SHARDING TABLE RULE t_user
+    CREATE SHARDING BINDING TABLE RULES (t_user, t_order)
+    CREATE BROADCAST TABLE RULE t_dict
+    CREATE READWRITE_SPLITTING RULE g0 (PRIMARY=ds0, REPLICAS(ds1, ds2))
+
+RQL (Resource & Rule Query Language)::
+
+    SHOW RESOURCES
+    SHOW SHARDING TABLE RULES
+    SHOW SHARDING BINDING TABLE RULES
+    SHOW BROADCAST TABLE RULES
+    SHOW SHARDING ALGORITHMS
+
+RAL (Resource & Rule Administration Language)::
+
+    SET VARIABLE transaction_type = XA
+    SHOW VARIABLE transaction_type
+    PREVIEW SELECT * FROM t_user WHERE uid = 1
+    MIGRATE TABLE t_user (RESOURCES(ds2, ds3), SHARDING_COLUMN=uid,
+                          TYPE=hash_mod, PROPERTIES('sharding-count'=8))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import DistSQLError
+from ..sql.lexer import tokenize
+from ..sql.tokens import Token, TokenType
+
+
+# ---------------------------------------------------------------------------
+# Statement dataclasses
+# ---------------------------------------------------------------------------
+
+
+class DistSQLStatement:
+    language = ""  # RDL / RQL / RAL
+
+
+@dataclass
+class RegisterResource(DistSQLStatement):
+    language = "RDL"
+    resources: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+
+
+@dataclass
+class UnregisterResource(DistSQLStatement):
+    language = "RDL"
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CreateShardingTableRule(DistSQLStatement):
+    language = "RDL"
+    table: str = ""
+    resources: list[str] = field(default_factory=list)
+    sharding_column: str = ""
+    algorithm_type: str = "HASH_MOD"
+    properties: dict[str, Any] = field(default_factory=dict)
+    key_generate_column: str | None = None
+    key_generator: str = "SNOWFLAKE"
+    alter: bool = False
+
+
+@dataclass
+class DropShardingTableRule(DistSQLStatement):
+    language = "RDL"
+    table: str = ""
+
+
+@dataclass
+class CreateBindingRule(DistSQLStatement):
+    language = "RDL"
+    tables: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CreateBroadcastRule(DistSQLStatement):
+    language = "RDL"
+    table: str = ""
+
+
+@dataclass
+class CreateReadwriteSplittingRule(DistSQLStatement):
+    language = "RDL"
+    name: str = ""
+    primary: str = ""
+    replicas: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ShowStatement(DistSQLStatement):
+    language = "RQL"
+    subject: str = ""  # resources | sharding_rules | binding_rules | broadcast_rules | algorithms
+
+
+@dataclass
+class SetVariable(DistSQLStatement):
+    language = "RAL"
+    name: str = ""
+    value: Any = None
+
+
+@dataclass
+class ShowVariable(DistSQLStatement):
+    language = "RAL"
+    name: str = ""
+
+
+@dataclass
+class Preview(DistSQLStatement):
+    language = "RAL"
+    sql: str = ""
+
+
+@dataclass
+class MigrateTable(DistSQLStatement):
+    """Online scaling: reshard a table onto a new layout (RAL)."""
+
+    language = "RAL"
+    table: str = ""
+    resources: list[str] = field(default_factory=list)
+    sharding_column: str = ""
+    algorithm_type: str = "HASH_MOD"
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Detection + parsing
+# ---------------------------------------------------------------------------
+
+_DIST_PREFIXES = (
+    "REGISTER RESOURCE",
+    "UNREGISTER RESOURCE",
+    "CREATE SHARDING",
+    "ALTER SHARDING",
+    "DROP SHARDING",
+    "CREATE BROADCAST",
+    "CREATE READWRITE_SPLITTING",
+    "SHOW RESOURCES",
+    "SHOW SHARDING",
+    "SHOW BROADCAST",
+    "SHOW VARIABLE",
+    "SET VARIABLE",
+    "PREVIEW",
+    "MIGRATE TABLE",
+)
+
+
+def is_distsql(sql: str) -> bool:
+    """Cheap syntactic check: is this statement DistSQL (vs plain SQL)?"""
+    head = " ".join(sql.strip().upper().split())
+    return any(head.startswith(prefix) for prefix in _DIST_PREFIXES)
+
+
+def parse_distsql(sql: str) -> DistSQLStatement:
+    """Parse one DistSQL statement."""
+    if sql.strip().upper().startswith("PREVIEW"):
+        inner = sql.strip()[len("PREVIEW"):].strip().rstrip(";")
+        if not inner:
+            raise DistSQLError("PREVIEW requires a SQL statement")
+        return Preview(sql=inner)
+    return _Parser(sql).parse()
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = [t for t in tokenize(sql) if not t.is_punct(";")]
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[min(self.pos, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER) and token.value.upper() == word:
+            self._next()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise DistSQLError(f"expected {word!r}, got {self._peek().value!r} in {self.sql!r}")
+
+    def _expect_name(self) -> str:
+        token = self._next()
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise DistSQLError(f"expected a name, got {token.value!r}")
+        return token.value
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if not token.is_punct(char):
+            raise DistSQLError(f"expected {char!r}, got {token.value!r}")
+
+    def _accept_punct(self, char: str) -> bool:
+        if self._peek().is_punct(char):
+            self._next()
+            return True
+        return False
+
+    def _expect_eq(self) -> None:
+        token = self._next()
+        if not token.is_op("="):
+            raise DistSQLError(f"expected '=', got {token.value!r}")
+
+    def _value(self) -> Any:
+        token = self._next()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return token.value
+        raise DistSQLError(f"expected a value, got {token.value!r}")
+
+    def _name_list(self) -> list[str]:
+        self._expect_punct("(")
+        names = [self._expect_name()]
+        while self._accept_punct(","):
+            names.append(self._expect_name())
+        self._expect_punct(")")
+        return names
+
+    def _properties(self) -> dict[str, Any]:
+        self._expect_punct("(")
+        props: dict[str, Any] = {}
+        if not self._peek().is_punct(")"):
+            while True:
+                key = self._value()
+                self._expect_eq()
+                props[str(key)] = self._value()
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        return props
+
+    # -- entry ----------------------------------------------------------------
+
+    def parse(self) -> DistSQLStatement:
+        if self._accept_word("REGISTER"):
+            return self._register_resource()
+        if self._accept_word("UNREGISTER"):
+            self._expect_word("RESOURCE")
+            names = [self._expect_name()]
+            while self._accept_punct(","):
+                names.append(self._expect_name())
+            return UnregisterResource(names=names)
+        if self._accept_word("CREATE") or self._accept_word("ALTER"):
+            alter = self.tokens[self.pos - 1].value.upper() == "ALTER"
+            return self._create(alter)
+        if self._accept_word("DROP"):
+            self._expect_word("SHARDING")
+            self._expect_word("TABLE")
+            self._expect_word("RULE")
+            return DropShardingTableRule(table=self._expect_name())
+        if self._accept_word("SHOW"):
+            return self._show()
+        if self._accept_word("SET"):
+            self._expect_word("VARIABLE")
+            name = self._expect_name()
+            self._expect_eq()
+            return SetVariable(name=name, value=self._value())
+        if self._accept_word("MIGRATE"):
+            self._expect_word("TABLE")
+            rule = self._sharding_table_rule(alter=False)
+            return MigrateTable(
+                table=rule.table,
+                resources=rule.resources,
+                sharding_column=rule.sharding_column,
+                algorithm_type=rule.algorithm_type,
+                properties=rule.properties,
+            )
+        raise DistSQLError(f"not a DistSQL statement: {self.sql!r}")
+
+    def _register_resource(self) -> RegisterResource:
+        self._expect_word("RESOURCE")
+        statement = RegisterResource()
+        while True:
+            name = self._expect_name()
+            props: dict[str, Any] = {}
+            if self._peek().is_punct("("):
+                self._expect_punct("(")
+                if self._accept_word("PROPERTIES"):
+                    props = self._properties()
+                self._expect_punct(")")
+            statement.resources.append((name, props))
+            if not self._accept_punct(","):
+                break
+        return statement
+
+    def _create(self, alter: bool) -> DistSQLStatement:
+        if self._accept_word("SHARDING"):
+            if self._accept_word("TABLE"):
+                self._expect_word("RULE")
+                return self._sharding_table_rule(alter)
+            if self._accept_word("BINDING"):
+                self._expect_word("TABLE")
+                self._expect_word("RULES")
+                return CreateBindingRule(tables=self._name_list())
+            raise DistSQLError("expected TABLE or BINDING after SHARDING")
+        if self._accept_word("BROADCAST"):
+            self._expect_word("TABLE")
+            self._expect_word("RULE")
+            return CreateBroadcastRule(table=self._expect_name())
+        if self._accept_word("READWRITE_SPLITTING"):
+            self._expect_word("RULE")
+            statement = CreateReadwriteSplittingRule(name=self._expect_name())
+            self._expect_punct("(")
+            while True:
+                if self._accept_word("PRIMARY"):
+                    self._expect_eq()
+                    statement.primary = self._expect_name()
+                elif self._accept_word("REPLICAS"):
+                    statement.replicas = self._name_list()
+                else:
+                    raise DistSQLError(f"unexpected token {self._peek().value!r}")
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(")")
+            return statement
+        raise DistSQLError("unsupported CREATE/ALTER DistSQL statement")
+
+    def _sharding_table_rule(self, alter: bool) -> CreateShardingTableRule:
+        statement = CreateShardingTableRule(table=self._expect_name(), alter=alter)
+        self._expect_punct("(")
+        while True:
+            if self._accept_word("RESOURCES"):
+                statement.resources = self._name_list()
+            elif self._accept_word("SHARDING_COLUMN"):
+                self._expect_eq()
+                statement.sharding_column = self._expect_name()
+            elif self._accept_word("TYPE"):
+                self._expect_eq()
+                statement.algorithm_type = str(self._value()).upper()
+            elif self._accept_word("PROPERTIES"):
+                statement.properties = self._properties()
+            elif self._accept_word("KEY_GENERATE_COLUMN"):
+                self._expect_eq()
+                statement.key_generate_column = self._expect_name()
+            elif self._accept_word("KEY_GENERATOR"):
+                self._expect_eq()
+                statement.key_generator = str(self._value()).upper()
+            else:
+                raise DistSQLError(f"unexpected token {self._peek().value!r} in rule body")
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        if not statement.resources:
+            raise DistSQLError("SHARDING TABLE RULE requires RESOURCES(...)")
+        if not statement.sharding_column:
+            raise DistSQLError("SHARDING TABLE RULE requires SHARDING_COLUMN=...")
+        return statement
+
+    def _show(self) -> DistSQLStatement:
+        if self._accept_word("RESOURCES"):
+            return ShowStatement(subject="resources")
+        if self._accept_word("SHARDING"):
+            if self._accept_word("TABLE"):
+                self._expect_word("RULES")
+                return ShowStatement(subject="sharding_rules")
+            if self._accept_word("BINDING"):
+                self._expect_word("TABLE")
+                self._expect_word("RULES")
+                return ShowStatement(subject="binding_rules")
+            if self._accept_word("ALGORITHMS"):
+                return ShowStatement(subject="algorithms")
+            raise DistSQLError("expected TABLE RULES / BINDING TABLE RULES / ALGORITHMS")
+        if self._accept_word("BROADCAST"):
+            self._expect_word("TABLE")
+            self._expect_word("RULES")
+            return ShowStatement(subject="broadcast_rules")
+        if self._accept_word("VARIABLE"):
+            return ShowVariable(name=self._expect_name())
+        raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

@@ -1,0 +1,42 @@
+"""The SQL engine pipeline: context, router, rewriter, executor, merger."""
+
+from .context import StatementContext, build_context
+from .executor import (
+    ConnectionMode,
+    ExecutionEngine,
+    ExecutionMetrics,
+    ExecutionResult,
+)
+from .merger import (
+    AggregateSpec,
+    MaterializedResult,
+    MergedResult,
+    MergeSpec,
+    merge,
+)
+from .pipeline import EngineResult, Feature, SQLEngine
+from .rewriter import ExecutionUnit, RewriteResult, rewrite
+from .router import RouteResult, RouteUnit, route
+
+__all__ = [
+    "StatementContext",
+    "build_context",
+    "RouteUnit",
+    "RouteResult",
+    "route",
+    "ExecutionUnit",
+    "RewriteResult",
+    "rewrite",
+    "ConnectionMode",
+    "ExecutionEngine",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "MergeSpec",
+    "AggregateSpec",
+    "MergedResult",
+    "MaterializedResult",
+    "merge",
+    "SQLEngine",
+    "EngineResult",
+    "Feature",
+]

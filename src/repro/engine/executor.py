@@ -1,0 +1,328 @@
+"""Automatic execution engine (Section VI-D).
+
+Balances data-source connections, memory and concurrency:
+
+- Units are grouped by physical data source.
+- Per data source, θ = ⌈NumOfSQL / MaxCon⌉ decides the connection mode:
+  θ > 1 forces CONNECTION_STRICTLY (each connection executes several SQLs
+  serially, results loaded into memory — memory merger); θ = 1 allows
+  MEMORY_STRICTLY (one connection per SQL, streaming cursors — stream
+  merger).
+- Deadlock avoidance: when a query needs several connections at once, the
+  whole batch is acquired atomically under the data source's acquisition
+  lock. Per the paper we skip the lock when only one connection is needed
+  and in connection-strictly mode (connections are released as soon as
+  results are memory-loaded, so circular waits are impossible).
+- Execution units run in parallel on a shared worker pool; per-unit event
+  hooks feed transactions and monitoring.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from ..exceptions import ExecutionError
+from ..storage import Connection, DataSource
+from .merger import MaterializedResult, ShardResult
+from .rewriter import ExecutionUnit
+
+
+class ConnectionMode(enum.Enum):
+    MEMORY_STRICTLY = "memory_strictly"
+    CONNECTION_STRICTLY = "connection_strictly"
+
+
+@dataclass
+class ExecutionResult:
+    """Per-shard results plus bookkeeping for the caller."""
+
+    results: list[ShardResult] = field(default_factory=list)
+    update_count: int = 0
+    modes: dict[str, ConnectionMode] = field(default_factory=dict)
+    #: run these once the merged result has been fully consumed
+    finalizers: list[Callable[[], None]] = field(default_factory=list)
+
+    def release(self) -> None:
+        finalizers, self.finalizers = self.finalizers, []
+        for finalizer in finalizers:
+            finalizer()
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters exposed for monitoring and tests."""
+
+    statements: int = 0
+    memory_strictly: int = 0
+    connection_strictly: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "statements": self.statements,
+            "memory_strictly": self.memory_strictly,
+            "connection_strictly": self.connection_strictly,
+        }
+
+
+#: event hook signature: (event, payload) — events: "execute", "mode".
+EventListener = Callable[[str, dict[str, Any]], None]
+
+
+class ExecutionEngine:
+    """Executes rewritten units against the fleet of data sources."""
+
+    def __init__(
+        self,
+        data_sources: Mapping[str, DataSource],
+        max_connections_per_query: int = 1,
+        worker_threads: int = 32,
+    ):
+        if max_connections_per_query < 1:
+            raise ExecutionError("max_connections_per_query must be >= 1")
+        self.data_sources = data_sources if isinstance(data_sources, dict) else dict(data_sources)
+        self.max_connections_per_query = max_connections_per_query
+        self.metrics = ExecutionMetrics()
+        self.listeners: list[EventListener] = []
+        self._pool = ThreadPoolExecutor(max_workers=worker_threads, thread_name_prefix="ss-exec")
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=False)
+
+    def add_listener(self, listener: EventListener) -> None:
+        self.listeners.append(listener)
+
+    def _emit(self, event: str, **payload: Any) -> None:
+        for listener in self.listeners:
+            listener(event, payload)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        units: Sequence[ExecutionUnit],
+        is_query: bool,
+        held_connections: Mapping[str, Connection] | None = None,
+    ) -> ExecutionResult:
+        """Run all units; group per data source and pick connection modes.
+
+        ``held_connections`` carries the per-data-source connections pinned
+        by an open distributed transaction: statements inside a transaction
+        must reuse them (and are therefore serial per data source).
+        """
+        groups: dict[str, list[ExecutionUnit]] = {}
+        for unit in units:
+            groups.setdefault(unit.data_source, []).append(unit)
+
+        result = ExecutionResult()
+
+        # Fast path: one unit on one source runs on the calling thread —
+        # the dominant OLTP case (point selects / PK writes), where worker
+        # dispatch would double the per-statement cost.
+        if len(units) == 1:
+            unit = units[0]
+            pinned = (held_connections or {}).get(unit.data_source)
+            if pinned is not None:
+                cursor = pinned.execute(unit.statement, unit.params)
+                result.modes[unit.data_source] = ConnectionMode.CONNECTION_STRICTLY
+                if is_query:
+                    result.results.append(
+                        MaterializedResult(cursor.columns, cursor.fetchall())
+                    )
+                else:
+                    result.update_count += max(cursor.rowcount, 0)
+                self.metrics.statements += 1
+                return result
+            source = self._source(unit.data_source)
+            result.modes[unit.data_source] = ConnectionMode.MEMORY_STRICTLY
+            self.metrics.memory_strictly += 1
+            connection = source.pool.acquire()
+            try:
+                cursor = connection.execute(unit.statement, unit.params)
+            except BaseException:
+                source.pool.release(connection)
+                raise
+            if is_query:
+                result.results.append(cursor)
+                result.finalizers.append(lambda: source.pool.release(connection))
+            else:
+                result.update_count += max(cursor.rowcount, 0)
+                source.pool.release(connection)
+            self.metrics.statements += 1
+            return result
+
+        futures: list[Future] = []
+        for ds_name, group in groups.items():
+            source = self._source(ds_name)
+            pinned = (held_connections or {}).get(ds_name)
+            if pinned is not None:
+                futures.append(self._pool.submit(self._run_pinned, pinned, group, is_query))
+                result.modes[ds_name] = ConnectionMode.CONNECTION_STRICTLY
+                continue
+            mode = self._decide_mode(len(group))
+            result.modes[ds_name] = mode
+            self._emit("mode", data_source=ds_name, mode=mode.value, sqls=len(group))
+            if mode is ConnectionMode.CONNECTION_STRICTLY:
+                self.metrics.connection_strictly += 1
+                futures.append(self._pool.submit(self._run_connection_strictly, source, group, is_query))
+            else:
+                self.metrics.memory_strictly += 1
+                futures.append(
+                    self._pool.submit(self._run_memory_strictly, source, group, is_query, result)
+                )
+
+        errors: list[BaseException] = []
+        for future in futures:
+            try:
+                shard_results, update_count = future.result()
+                result.results.extend(shard_results)
+                result.update_count += update_count
+            except BaseException as exc:  # propagate after draining all futures
+                errors.append(exc)
+        if errors:
+            result.release()
+            raise errors[0]
+        self.metrics.statements += len(units)
+        return result
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+
+    def _decide_mode(self, num_sqls: int) -> ConnectionMode:
+        theta = math.ceil(num_sqls / self.max_connections_per_query)
+        return ConnectionMode.CONNECTION_STRICTLY if theta > 1 else ConnectionMode.MEMORY_STRICTLY
+
+    def _source(self, name: str) -> DataSource:
+        try:
+            return self.data_sources[name]
+        except KeyError:
+            raise ExecutionError(f"unknown data source {name!r}") from None
+
+    def _run_pinned(
+        self, connection: Connection, group: list[ExecutionUnit], is_query: bool
+    ) -> tuple[list[ShardResult], int]:
+        """Transactional path: all units run serially on the pinned connection."""
+        results: list[ShardResult] = []
+        update_count = 0
+        for unit in group:
+            cursor = connection.execute(unit.statement, unit.params)
+            self._emit("execute", data_source=unit.data_source, unit=unit)
+            if is_query:
+                results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
+            else:
+                update_count += max(cursor.rowcount, 0)
+        return results, update_count
+
+    def _run_connection_strictly(
+        self, source: DataSource, group: list[ExecutionUnit], is_query: bool
+    ) -> tuple[list[ShardResult], int]:
+        """θ > 1: few connections, several SQLs each, memory-loaded results.
+
+        No acquisition lock: connections are released as soon as results
+        are loaded, so two queries cannot deadlock on this path.
+        """
+        connection_count = min(self.max_connections_per_query, len(group))
+        buckets: list[list[ExecutionUnit]] = [[] for _ in range(connection_count)]
+        for i, unit in enumerate(group):
+            buckets[i % connection_count].append(unit)
+
+        def run_bucket(bucket: list[ExecutionUnit]) -> tuple[list[ShardResult], int]:
+            connection = source.pool.acquire()
+            results: list[ShardResult] = []
+            update_count = 0
+            try:
+                for unit in bucket:
+                    cursor = connection.execute(unit.statement, unit.params)
+                    self._emit("execute", data_source=unit.data_source, unit=unit)
+                    if is_query:
+                        results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
+                    else:
+                        update_count += max(cursor.rowcount, 0)
+            finally:
+                source.pool.release(connection)
+            return results, update_count
+
+        if connection_count == 1:
+            return run_bucket(buckets[0])
+        futures = [self._pool.submit(run_bucket, bucket) for bucket in buckets]
+        results: list[ShardResult] = []
+        update_count = 0
+        for future in futures:
+            shard_results, count = future.result()
+            results.extend(shard_results)
+            update_count += count
+        return results, update_count
+
+    def _run_memory_strictly(
+        self,
+        source: DataSource,
+        group: list[ExecutionUnit],
+        is_query: bool,
+        result: ExecutionResult,
+    ) -> tuple[list[ShardResult], int]:
+        """θ = 1: one connection per SQL, streaming cursors (stream merger)."""
+        connections = self._acquire_batch(source, len(group))
+        released = threading.Event()
+
+        def release_all() -> None:
+            if not released.is_set():
+                released.set()
+                source.pool.release_many(connections)
+
+        try:
+            futures = [
+                self._pool.submit(self._execute_streaming, conn, unit)
+                for conn, unit in zip(connections, group)
+            ]
+            shard_results: list[ShardResult] = []
+            update_count = 0
+            for future in futures:
+                cursor = future.result()
+                if is_query:
+                    shard_results.append(cursor)
+                else:
+                    update_count += max(cursor.rowcount, 0)
+        except BaseException:
+            release_all()
+            raise
+        if is_query:
+            result.finalizers.append(release_all)
+        else:
+            release_all()
+        return shard_results, update_count
+
+    def _execute_streaming(self, connection: Connection, unit: ExecutionUnit):
+        cursor = connection.execute(unit.statement, unit.params)
+        self._emit("execute", data_source=unit.data_source, unit=unit)
+        return cursor
+
+    def _acquire_batch(self, source: DataSource, count: int, timeout: float = 10.0) -> list[Connection]:
+        """Atomically acquire ``count`` connections (deadlock avoidance).
+
+        A single connection skips the lock entirely (two queries cannot
+        wait on each other over one connection each).
+        """
+        if count == 1:
+            return [source.pool.acquire(timeout=timeout)]
+        deadline = time.monotonic() + timeout
+        while True:
+            with source.acquisition_lock:
+                batch = source.pool.try_acquire_many(count)
+            if batch is not None:
+                return batch
+            if time.monotonic() >= deadline:
+                raise ExecutionError(
+                    f"could not atomically acquire {count} connections from {source.name!r}"
+                )
+            time.sleep(0.001)

@@ -1,0 +1,159 @@
+"""Federation executor: cross-source joins without co-located shards.
+
+The cartesian route (Section V-B) requires every joined table to have a
+shard in the same data source. When tables live in disjoint sources —
+e.g. vertically-sharded tables on different servers — upstream
+ShardingSphere 5.x falls back to its *Federation* engine: pull the
+(filtered) rows of each table into the middleware and finish the query
+there. This module is that fallback.
+
+It is deliberately a last resort: the pipeline only federates when the
+router raises the no-co-located-shards error, and per-table WHERE
+conjuncts are pushed down so each shard ships only matching rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..exceptions import UnsupportedSQLError
+from ..sql import ast
+from ..storage.database import Database
+from ..storage.executor import QueryResult, execute_statement
+from ..storage.transaction import Transaction
+from .context import StatementContext
+
+if TYPE_CHECKING:
+    from .pipeline import SQLEngine
+
+#: refuse to materialize more rows than this into the federation scratch DB
+MAX_FEDERATION_ROWS = 500_000
+
+
+def federate_select(engine: "SQLEngine", context: StatementContext) -> QueryResult:
+    """Execute a SELECT by materializing each referenced table locally."""
+    statement = context.statement
+    if not isinstance(statement, ast.SelectStatement):
+        raise UnsupportedSQLError("only SELECT statements can be federated")
+
+    scratch = Database("federation")
+    txn = Transaction(scratch)
+    # Predicates on the nullable side of an outer join filter *after* the
+    # join produces NULLs; pushing them below the join would change results.
+    no_pushdown = {
+        join.table.exposed_name.lower()
+        for join in statement.joins
+        if join.kind in ("LEFT", "RIGHT", "FULL")
+    }
+    total = 0
+    for ref in statement.tables():
+        if scratch.has_table(ref.name):
+            continue
+        pushdown_ok = ref.exposed_name.lower() not in no_pushdown
+        total += _materialize(engine, context, ref, scratch, txn, pushdown_ok)
+        if total > MAX_FEDERATION_ROWS:
+            raise UnsupportedSQLError(
+                f"federated query would materialize more than "
+                f"{MAX_FEDERATION_ROWS} rows; add narrowing predicates"
+            )
+    return execute_statement(scratch, statement, context.params)
+
+
+def _materialize(
+    engine: "SQLEngine",
+    context: StatementContext,
+    ref: ast.TableRef,
+    scratch: Database,
+    txn: Transaction,
+    pushdown_ok: bool = True,
+) -> int:
+    """Copy one logic table's (filtered) rows into the scratch database."""
+    rule = engine.rule
+    logic = ref.name
+    nodes = _nodes_of(engine, logic)
+    schema = None
+    fetched = 0
+    pushdown = _pushdown_predicate(context, ref) if pushdown_ok else None
+    for ds_name, actual in nodes:
+        source = engine.data_sources[ds_name]
+        table = source.database.table(actual)
+        if schema is None:
+            schema = table.schema.clone_renamed(logic)
+            scratch.create_table(schema)
+        target = scratch.table(logic)
+        per_shard = ast.SelectStatement(
+            select_items=[ast.SelectItem(ast.Star())],
+            from_table=ast.TableRef(actual, alias=ref.alias),
+            where=ast.clone_expression(pushdown) if pushdown is not None else None,
+        )
+        connection = source.pool.acquire()
+        try:
+            cursor = connection.execute(per_shard, context.params)
+            columns = cursor.columns
+            for row in cursor:
+                target.insert(dict(zip(columns, row)))
+                fetched += 1
+        finally:
+            source.pool.release(connection)
+    return fetched
+
+
+def _nodes_of(engine: "SQLEngine", logic: str) -> list[tuple[str, str]]:
+    rule = engine.rule
+    if rule.is_sharded(logic):
+        return [(n.data_source, n.table) for n in rule.table_rule(logic).data_nodes]
+    if rule.is_broadcast(logic):
+        # replicated everywhere; one copy suffices
+        default = rule.default_data_source or next(iter(engine.data_sources))
+        return [(default, logic)]
+    default = rule.default_data_source or next(iter(engine.data_sources))
+    return [(default, logic)]
+
+
+def _pushdown_predicate(context: StatementContext, ref: ast.TableRef) -> ast.Expression | None:
+    """AND of the WHERE conjuncts that reference only this table.
+
+    A conjunct qualifies when every column it mentions is either qualified
+    by this table's exposed name or unqualified-and-unclaimed by other
+    tables (single-table queries never reach federation, so unqualified
+    columns are kept only when no other table could own them).
+    """
+    statement = context.statement
+    where = getattr(statement, "where", None)
+    if where is None:
+        return None
+    exposed = ref.exposed_name.lower()
+    other_names = {
+        t.exposed_name.lower() for t in statement.tables() if t.exposed_name.lower() != exposed
+    }
+    kept: list[ast.Expression] = []
+    for predicate in _conjuncts(where):
+        qualifiers = {
+            node.table.lower()
+            for node in predicate.walk()
+            if isinstance(node, ast.ColumnRef) and node.table is not None
+        }
+        has_unqualified = any(
+            isinstance(node, ast.ColumnRef) and node.table is None
+            for node in predicate.walk()
+        )
+        if has_unqualified:
+            continue  # ambiguous ownership; evaluate after the join
+        if qualifiers and qualifiers <= {exposed}:
+            kept.append(ast.clone_expression(predicate))
+    if not kept:
+        return None
+    out = kept[0]
+    for predicate in kept[1:]:
+        out = ast.BinaryOp("AND", out, predicate)
+    # Rewrite the qualifier to the per-shard alias-or-name (the alias is
+    # preserved on the per-shard FROM, so qualified refs still resolve).
+    return out
+
+
+def _conjuncts(expr: ast.Expression):
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr

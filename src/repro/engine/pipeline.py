@@ -1,0 +1,235 @@
+"""The complete SQL engine: parse -> route -> rewrite -> execute -> merge.
+
+This is the paper's Figure 2 "SQL Engine" box. Features (read-write
+splitting, encryption, shadow, circuit breaking...) plug into the pipeline
+through the :class:`Feature` hook interface, which is what makes the
+platform "pluggable": every feature sees the statement context, may veto
+or mutate it, may redirect routed units, and may post-process results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import RouteError, ShardingSphereError
+from ..sharding import ShardingRule
+from ..sql import ast, parse
+from ..storage import Connection, DataSource
+from .context import StatementContext, build_context
+from .executor import ConnectionMode, ExecutionEngine, ExecutionResult
+from .merger import MergedResult, MergeSpec, merge
+from .rewriter import ExecutionUnit, RewriteResult, rewrite
+from .router import RouteResult, route
+
+
+class Feature:
+    """Pluggable pipeline hook (SPI analogue for features).
+
+    Subclasses override any subset of the hooks; the engine calls them in
+    registration order. Hooks may mutate their arguments in place.
+    """
+
+    #: short identifier used in SHOW output and diagnostics
+    name = "feature"
+
+    def on_context(self, context: StatementContext) -> None:
+        """Inspect/mutate the statement context before routing."""
+
+    def on_route(self, route_result: RouteResult, context: StatementContext) -> None:
+        """Inspect/mutate the route result (e.g. redirect data sources)."""
+
+    def on_units(self, units: list[ExecutionUnit], context: StatementContext) -> None:
+        """Inspect/mutate rewritten execution units before execution."""
+
+    def on_result(self, result: "EngineResult", context: StatementContext) -> None:
+        """Post-process the merged result."""
+
+    def on_error(self, error: Exception, context: StatementContext) -> None:
+        """Observe a failed execution (circuit breakers count these)."""
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one logical statement."""
+
+    merged: MergedResult | None = None
+    update_count: int = 0
+    generated_keys: tuple[str, list[Any]] | None = None
+    # diagnostics
+    route_type: str = ""
+    unit_count: int = 0
+    modes: dict[str, ConnectionMode] = field(default_factory=dict)
+    merger_kind: str = ""
+    units: list[ExecutionUnit] = field(default_factory=list)
+
+    @property
+    def sqls(self) -> list[str]:
+        """Rewritten per-shard SQL texts (rendered lazily)."""
+        return [u.sql for u in self.units]
+
+    @property
+    def is_query(self) -> bool:
+        return self.merged is not None
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        if self.merged is None:
+            return []
+        return self.merged.fetchall()
+
+    @property
+    def columns(self) -> list[str]:
+        return self.merged.columns if self.merged else []
+
+
+class SQLEngine:
+    """Five-stage engine bound to a rule and a fleet of data sources."""
+
+    def __init__(
+        self,
+        data_sources: Mapping[str, DataSource],
+        rule: ShardingRule,
+        max_connections_per_query: int = 1,
+        features: Sequence[Feature] = (),
+        worker_threads: int = 32,
+        enable_federation: bool = True,
+    ):
+        self.enable_federation = enable_federation
+        # Keep the caller's dict by reference: DistSQL REGISTER RESOURCE
+        # mutates it at runtime and the engine must see new sources.
+        self.data_sources = data_sources if isinstance(data_sources, dict) else dict(data_sources)
+        self.rule = rule
+        self.features = list(features)
+        self.executor = ExecutionEngine(
+            self.data_sources,
+            max_connections_per_query=max_connections_per_query,
+            worker_threads=worker_threads,
+        )
+        self._parse_cache: dict[str, ast.Statement] = {}
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def add_feature(self, feature: Feature) -> None:
+        self.features.append(feature)
+
+    def remove_feature(self, name: str) -> None:
+        self.features = [f for f in self.features if f.name != name]
+
+    def _dialect_of(self, data_source: str):
+        return self.data_sources[data_source].dialect
+
+    def _federated(self, context: StatementContext) -> EngineResult:
+        """Cross-source join fallback (see :mod:`repro.engine.federation`)."""
+        from .federation import federate_select
+
+        query_result = federate_select(self, context)
+        result = EngineResult(
+            route_type="federation",
+            unit_count=0,
+            merger_kind="federation",
+        )
+        result.merged = MergedResult(
+            columns=list(query_result.columns),
+            rows=iter(query_result.rows),
+            merger_kind="federation",
+        )
+        return result
+
+    _PARSE_CACHE_LIMIT = 2048
+
+    def _parse_cached(self, sql: str) -> ast.Statement:
+        """Parse with a per-engine statement cache.
+
+        Cached ASTs are cloned before use because downstream stages mutate
+        statements in place (INSERT key generation, encrypt rewrites).
+        """
+        cached = self._parse_cache.get(sql)
+        if cached is None:
+            cached = parse(sql)
+            if len(self._parse_cache) >= self._PARSE_CACHE_LIMIT:
+                self._parse_cache.clear()
+            self._parse_cache[sql] = cached
+        return ast.clone_statement(cached)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any] = (),
+        held_connections: Mapping[str, Connection] | None = None,
+        hint_values: Sequence[Any] | None = None,
+    ) -> EngineResult:
+        """Run one logical statement through the full pipeline."""
+        if isinstance(sql, str):
+            statement = self._parse_cached(sql)
+            sql_text = sql
+        else:
+            statement = sql
+            sql_text = ""
+
+        context = build_context(statement, sql_text, params, self.rule, hint_values)
+        for feature in self.features:
+            feature.on_context(context)
+
+        try:
+            route_result = route(context, self.rule)
+        except RouteError as exc:
+            if (
+                self.enable_federation
+                and isinstance(statement, ast.SelectStatement)
+                and "co-located" in str(exc)
+            ):
+                return self._federated(context)
+            raise
+        for feature in self.features:
+            feature.on_route(route_result, context)
+
+        rewrite_result = rewrite(context, route_result, self._dialect_of)
+        units = rewrite_result.execution_units
+        for feature in self.features:
+            feature.on_units(units, context)
+
+        is_query = isinstance(statement, ast.SelectStatement)
+        try:
+            execution = self.executor.execute(units, is_query, held_connections)
+        except Exception as exc:
+            for feature in self.features:
+                feature.on_error(exc, context)
+            raise
+
+        result = EngineResult(
+            update_count=execution.update_count,
+            generated_keys=context.generated_keys,
+            route_type=route_result.route_type,
+            unit_count=len(units),
+            modes=dict(execution.modes),
+            units=list(units),
+        )
+        if is_query:
+            spec = rewrite_result.merge_spec or MergeSpec(is_query=True, single_node=True)
+            merged = merge(spec, execution.results)
+            result.merged = MergedResult(
+                columns=merged.columns,
+                rows=_releasing(merged.rows, execution),
+                merger_kind=merged.merger_kind,
+            )
+            result.merger_kind = merged.merger_kind
+        else:
+            execution.release()
+
+        for feature in self.features:
+            feature.on_result(result, context)
+        return result
+
+
+def _releasing(rows, execution: ExecutionResult):
+    """Wrap the merged iterator so pooled connections are returned when the
+    stream is exhausted (or the generator is closed/garbage-collected)."""
+    try:
+        yield from rows
+    finally:
+        execution.release()

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ShardingSphereError`,
+so callers can catch one base type. Sub-hierarchies mirror the subsystems:
+SQL parsing, storage, routing/rewriting, execution, transactions, governance
+and DistSQL.
+"""
+
+from __future__ import annotations
+
+
+class ShardingSphereError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLParseError(ShardingSphereError):
+    """A SQL statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedSQLError(SQLParseError):
+    """The statement parsed but uses a feature the engine does not support."""
+
+
+class StorageError(ShardingSphereError):
+    """Base class for errors raised by the embedded storage engine."""
+
+
+class TableNotFoundError(StorageError):
+    """The referenced table does not exist in the data source."""
+
+
+class TableAlreadyExistsError(StorageError):
+    """CREATE TABLE for a name that already exists."""
+
+
+class ColumnNotFoundError(StorageError):
+    """The referenced column does not exist in the table."""
+
+
+class DuplicateKeyError(StorageError):
+    """A uniqueness constraint (primary key / unique index) was violated."""
+
+
+class TypeCheckError(StorageError):
+    """A value does not conform to the declared column type."""
+
+
+class ConnectionPoolExhaustedError(StorageError):
+    """No connection could be acquired from the pool within the timeout."""
+
+
+class ConnectionClosedError(StorageError):
+    """Operation attempted on a closed connection or cursor."""
+
+
+class ShardingConfigError(ShardingSphereError):
+    """Invalid sharding rule or algorithm configuration."""
+
+
+class UnknownAlgorithmError(ShardingConfigError):
+    """A sharding algorithm type was requested that is not registered."""
+
+
+class RouteError(ShardingSphereError):
+    """The router could not map a logical statement to data nodes."""
+
+
+class RewriteError(ShardingSphereError):
+    """The rewriter could not produce executable SQL."""
+
+
+class MergeError(ShardingSphereError):
+    """The result merger could not combine per-shard result sets."""
+
+
+class ExecutionError(ShardingSphereError):
+    """A routed statement failed during execution on a data source."""
+
+
+class TransactionError(ShardingSphereError):
+    """Base class for distributed transaction failures."""
+
+
+class XATransactionError(TransactionError):
+    """A 2PC participant failed to prepare or commit."""
+
+
+class BaseTransactionError(TransactionError):
+    """A BASE (Seata-AT style) transaction failed."""
+
+
+class GovernanceError(ShardingSphereError):
+    """Registry / configuration management failure."""
+
+
+class NodeNotFoundError(GovernanceError):
+    """A registry path does not exist."""
+
+
+class NodeExistsError(GovernanceError):
+    """A registry path already exists."""
+
+
+class BadVersionError(GovernanceError):
+    """Optimistic version check failed on a registry write."""
+
+
+class DistSQLError(ShardingSphereError):
+    """A DistSQL statement is malformed or cannot be applied."""
+
+
+class CircuitBreakerOpenError(ShardingSphereError):
+    """The circuit breaker rejected the request."""
+
+
+class ThrottledError(ShardingSphereError):
+    """The rate limiter rejected the request."""
+
+
+class ProtocolError(ShardingSphereError):
+    """Wire-protocol framing or handshake failure."""

@@ -1,0 +1,49 @@
+"""Pluggable features (Section IV-C): all implemented as pipeline hooks
+that can be added, removed or combined freely with data sharding."""
+
+from .circuit import CircuitBreakerFeature, CircuitState, ThrottleFeature
+from .encrypt import (
+    EncryptAlgorithm,
+    EncryptColumn,
+    EncryptFeature,
+    EncryptRule,
+    MD5Encryptor,
+    XorStreamEncryptor,
+    create_encryptor,
+    register_encryptor,
+)
+from .rwsplit import (
+    LoadBalancer,
+    RandomLoadBalancer,
+    ReadWriteGroup,
+    ReadWriteSplittingFeature,
+    RoundRobinLoadBalancer,
+    WeightedLoadBalancer,
+)
+from .scaling import ScalingJob, ScalingPhase, ScalingReport
+from .shadow import ShadowFeature, ShadowRule
+
+__all__ = [
+    "ReadWriteSplittingFeature",
+    "ReadWriteGroup",
+    "LoadBalancer",
+    "RoundRobinLoadBalancer",
+    "RandomLoadBalancer",
+    "WeightedLoadBalancer",
+    "EncryptFeature",
+    "EncryptRule",
+    "EncryptColumn",
+    "EncryptAlgorithm",
+    "XorStreamEncryptor",
+    "MD5Encryptor",
+    "create_encryptor",
+    "register_encryptor",
+    "ShadowFeature",
+    "ShadowRule",
+    "CircuitBreakerFeature",
+    "CircuitState",
+    "ThrottleFeature",
+    "ScalingJob",
+    "ScalingPhase",
+    "ScalingReport",
+]

@@ -1,0 +1,107 @@
+"""Circuit breaking and throttling features.
+
+Both are request-admission guards plugged in at ``on_context`` (the
+earliest pipeline hook), so rejected statements cost nothing downstream.
+
+- :class:`CircuitBreakerFeature`: CLOSED -> OPEN after N consecutive
+  failures; OPEN rejects instantly; after a cooldown it lets one probe
+  through (HALF_OPEN) and closes again on success.
+- :class:`ThrottleFeature`: token-bucket rate limiter.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+
+from ..engine.context import StatementContext
+from ..engine.pipeline import EngineResult, Feature
+from ..exceptions import CircuitBreakerOpenError, ThrottledError
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreakerFeature(Feature):
+    """Trip after consecutive failures; recover through a probe request."""
+
+    name = "circuit_breaker"
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = CircuitState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    # Manual controls (DistSQL RAL can force these).
+    def trip(self) -> None:
+        with self._lock:
+            self.state = CircuitState.OPEN
+            self._opened_at = time.monotonic()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.state = CircuitState.CLOSED
+            self._failures = 0
+
+    def on_context(self, context: StatementContext) -> None:
+        with self._lock:
+            if self.state is CircuitState.OPEN:
+                if time.monotonic() - self._opened_at >= self.reset_timeout:
+                    self.state = CircuitState.HALF_OPEN
+                else:
+                    raise CircuitBreakerOpenError(
+                        f"circuit open; retry in "
+                        f"{self.reset_timeout - (time.monotonic() - self._opened_at):.1f}s"
+                    )
+
+    def on_result(self, result: EngineResult, context: StatementContext) -> None:
+        self.record_success()
+
+    def on_error(self, error: Exception, context: StatementContext) -> None:
+        self.record_failure()
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self.state is CircuitState.HALF_OPEN:
+                self.state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self.state is CircuitState.HALF_OPEN or self._failures >= self.failure_threshold:
+                self.state = CircuitState.OPEN
+                self._opened_at = time.monotonic()
+
+
+class ThrottleFeature(Feature):
+    """Token bucket: at most ``rate`` statements/second, bursts up to ``burst``."""
+
+    name = "throttle"
+
+    def __init__(self, rate: float, burst: int | None = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.capacity = float(burst if burst is not None else max(1, int(rate)))
+        self._tokens = self.capacity
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+        self.rejected = 0
+
+    def on_context(self, context: StatementContext) -> None:
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.capacity, self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens < 1.0:
+                self.rejected += 1
+                raise ThrottledError(f"rate limit of {self.rate}/s exceeded")
+            self._tokens -= 1.0

@@ -1,0 +1,119 @@
+"""Read-write splitting feature.
+
+Writes (and reads inside explicit transactions, and ``SELECT ... FOR
+UPDATE``) go to the primary; plain reads are load-balanced over replicas.
+The feature plugs into the pipeline's ``on_units`` hook and simply
+redirects each execution unit's target data source, so it composes freely
+with sharding: the router picks the *logical* source (the primary's name),
+and this feature fans reads out to that group's replicas.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..engine.context import StatementContext
+from ..engine.pipeline import Feature
+from ..engine.rewriter import ExecutionUnit
+from ..exceptions import ShardingConfigError
+from ..sql import ast
+
+
+class LoadBalancer:
+    """Picks a replica; SPI-style replaceable."""
+
+    def choose(self, replicas: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+class RoundRobinLoadBalancer(LoadBalancer):
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def choose(self, replicas: Sequence[str]) -> str:
+        with self._lock:
+            return replicas[next(self._counter) % len(replicas)]
+
+
+class RandomLoadBalancer(LoadBalancer):
+    def __init__(self, seed: int | None = None):
+        self._random = random.Random(seed)
+
+    def choose(self, replicas: Sequence[str]) -> str:
+        return self._random.choice(replicas)
+
+
+class WeightedLoadBalancer(LoadBalancer):
+    """Weights map replica name -> relative weight."""
+
+    def __init__(self, weights: dict[str, float], seed: int | None = None):
+        if not weights or any(w <= 0 for w in weights.values()):
+            raise ShardingConfigError("weights must be positive")
+        self.weights = dict(weights)
+        self._random = random.Random(seed)
+
+    def choose(self, replicas: Sequence[str]) -> str:
+        candidates = [r for r in replicas if r in self.weights]
+        if not candidates:
+            return replicas[0]
+        weights = [self.weights[r] for r in candidates]
+        return self._random.choices(candidates, weights=weights, k=1)[0]
+
+
+@dataclass
+class ReadWriteGroup:
+    """One primary and its replicas, addressed by the primary's name."""
+
+    name: str
+    primary: str
+    replicas: list[str] = field(default_factory=list)
+    load_balancer: LoadBalancer = field(default_factory=RoundRobinLoadBalancer)
+
+
+class ReadWriteSplittingFeature(Feature):
+    """Redirect read units to replicas, writes to the primary."""
+
+    name = "readwrite_splitting"
+
+    def __init__(
+        self,
+        groups: Sequence[ReadWriteGroup],
+        is_up: Callable[[str], bool] | None = None,
+        in_transaction: Callable[[], bool] | None = None,
+    ):
+        #: group looked up by the logical (primary) data source name
+        self.groups = {g.name: g for g in groups}
+        self.is_up = is_up or (lambda name: True)
+        self.in_transaction = in_transaction or (lambda: False)
+        self.reads_routed = 0
+        self.writes_routed = 0
+
+    def _is_read(self, context: StatementContext) -> bool:
+        statement = context.statement
+        if not isinstance(statement, ast.SelectStatement):
+            return False
+        if statement.for_update:
+            return False
+        return not self.in_transaction()
+
+    def on_units(self, units: list[ExecutionUnit], context: StatementContext) -> None:
+        read = self._is_read(context)
+        for unit in units:
+            group = self.groups.get(unit.data_source)
+            if group is None:
+                continue
+            if read:
+                healthy = [r for r in group.replicas if self.is_up(r)]
+                if healthy:
+                    unit.data_source = group.load_balancer.choose(healthy)
+                    unit.unit.data_source = unit.data_source
+                    self.reads_routed += 1
+                    continue
+            unit.data_source = group.primary
+            unit.unit.data_source = unit.data_source
+            self.writes_routed += 1

@@ -1,0 +1,93 @@
+"""Shadow database feature.
+
+"Creating a shadow database and routing the corresponding test SQL to it":
+production traffic keeps flowing to the production data sources, while
+statements recognized as *test* traffic are redirected to shadow data
+sources. Determination is column-based (the upstream default): a
+configured shadow column with a configured true-value marks the statement
+as shadow traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..engine.context import StatementContext
+from ..engine.pipeline import Feature
+from ..engine.rewriter import ExecutionUnit
+from ..sql import ast
+
+
+@dataclass
+class ShadowRule:
+    """Shadow determination + data source mapping."""
+
+    column: str = "is_shadow"
+    true_values: tuple[Any, ...] = (True, 1, "1", "true")
+    #: production ds name -> shadow ds name
+    mapping: dict[str, str] = field(default_factory=dict)
+
+
+class ShadowFeature(Feature):
+    """Redirect shadow-marked statements to shadow data sources."""
+
+    name = "shadow"
+
+    def __init__(self, rule: ShadowRule):
+        self.rule = rule
+        self.shadow_routed = 0
+
+    # -- determination -----------------------------------------------------
+
+    def _insert_is_shadow(self, stmt: ast.InsertStatement, params: tuple[Any, ...]) -> bool:
+        try:
+            position = [c.lower() for c in stmt.columns].index(self.rule.column.lower())
+        except ValueError:
+            return False
+        for row in stmt.values_rows:
+            value = _value_of(row[position], params)
+            if value not in self.rule.true_values:
+                return False
+        return bool(stmt.values_rows)
+
+    def _where_is_shadow(self, where: ast.Expression | None, params: tuple[Any, ...]) -> bool:
+        if where is None:
+            return False
+        for node in where.walk():
+            if (
+                isinstance(node, ast.BinaryOp)
+                and node.op == "="
+                and isinstance(node.left, ast.ColumnRef)
+                and node.left.name.lower() == self.rule.column.lower()
+            ):
+                if _value_of(node.right, params) in self.rule.true_values:
+                    return True
+        return False
+
+    def is_shadow(self, context: StatementContext) -> bool:
+        statement = context.statement
+        if isinstance(statement, ast.InsertStatement):
+            return self._insert_is_shadow(statement, context.params)
+        where = getattr(statement, "where", None)
+        return self._where_is_shadow(where, context.params)
+
+    # -- redirection ----------------------------------------------------------
+
+    def on_units(self, units: list[ExecutionUnit], context: StatementContext) -> None:
+        if not self.is_shadow(context):
+            return
+        for unit in units:
+            shadow = self.rule.mapping.get(unit.data_source)
+            if shadow is not None:
+                unit.data_source = shadow
+                unit.unit.data_source = shadow
+                self.shadow_routed += 1
+
+
+def _value_of(expr: ast.Expression, params: tuple[Any, ...]) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Placeholder) and expr.index < len(params):
+        return params[expr.index]
+    return None

@@ -1,0 +1,7 @@
+"""Governor: configuration management + health detection (Section V)."""
+
+from .config import ConfigCenter
+from .health import HealthDetector, ReplicaGroup
+from .registry import Registry, Session
+
+__all__ = ["Registry", "Session", "ConfigCenter", "HealthDetector", "ReplicaGroup"]

@@ -1,0 +1,127 @@
+"""Health detection (Section V-B).
+
+"Governor launches a thread to check periodically the statuses of each
+ShardingSphere-Proxy instance and the underlying databases. If one
+ShardingSphere-Proxy is down or the primary nodes are changed, Governor
+would change the configurations automatically."
+
+:class:`HealthDetector` pings every data source (``SELECT 1``), records
+UP/DOWN in the config center, and — for primary/replica groups used by
+read-write splitting — promotes the first healthy replica when a primary
+goes down, rewriting the group config so the system keeps working.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..storage import DataSource
+from .config import ConfigCenter
+
+
+@dataclass
+class ReplicaGroup:
+    """A primary with its replicas (the unit of failover)."""
+
+    name: str
+    primary: str
+    replicas: list[str] = field(default_factory=list)
+
+
+class HealthDetector:
+    """Periodic health checks + automatic primary failover."""
+
+    def __init__(
+        self,
+        data_sources: Mapping[str, DataSource],
+        config: ConfigCenter,
+        groups: list[ReplicaGroup] | None = None,
+        interval: float = 1.0,
+        prober: Callable[[DataSource], bool] | None = None,
+    ):
+        self.data_sources = dict(data_sources)
+        self.config = config
+        self.groups = {g.name: g for g in (groups or [])}
+        self.interval = interval
+        self.prober = prober or _default_probe
+        self.failover_listeners: list[Callable[[str, str, str], None]] = []
+        self._down: set[str] = set()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True, name="ss-health")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check_once()
+
+    # -- checking --------------------------------------------------------------
+
+    def is_up(self, name: str) -> bool:
+        with self._lock:
+            return name not in self._down
+
+    def check_once(self) -> dict[str, bool]:
+        """Probe everything once; returns {name: healthy}."""
+        statuses: dict[str, bool] = {}
+        for name, source in self.data_sources.items():
+            healthy = self.prober(source)
+            statuses[name] = healthy
+            self.config.set_status(f"datasource/{name}", "UP" if healthy else "DOWN")
+            with self._lock:
+                was_down = name in self._down
+                if healthy:
+                    self._down.discard(name)
+                else:
+                    self._down.add(name)
+            if not healthy and not was_down:
+                self._handle_failure(name)
+        return statuses
+
+    def add_failover_listener(self, listener: Callable[[str, str, str], None]) -> None:
+        """listener(group_name, old_primary, new_primary)"""
+        self.failover_listeners.append(listener)
+
+    def _handle_failure(self, name: str) -> None:
+        for group in self.groups.values():
+            if group.primary != name:
+                continue
+            candidates = [r for r in group.replicas if self.is_up(r)]
+            if not candidates:
+                continue
+            new_primary = candidates[0]
+            old_primary = group.primary
+            group.replicas = [r for r in group.replicas if r != new_primary]
+            group.replicas.append(old_primary)
+            group.primary = new_primary
+            self.config.store_rule(
+                "readwrite_splitting",
+                group.name,
+                {"primary": group.primary, "replicas": group.replicas},
+            )
+            for listener in self.failover_listeners:
+                listener(group.name, old_primary, new_primary)
+
+
+def _default_probe(source: DataSource) -> bool:
+    try:
+        source.execute("SELECT 1")
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,271 @@
+"""ZooKeeper-like coordination registry (in-process).
+
+The paper stores configuration in Apache ZooKeeper. This module provides
+the ZooKeeper features the Governor actually uses: a hierarchy of znodes
+with versioned values, watches on data and children changes, and ephemeral
+nodes bound to sessions (a crashed ShardingSphere-Proxy instance's
+ephemeral registration disappears, which is how health detection notices).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..exceptions import BadVersionError, NodeExistsError, NodeNotFoundError
+
+#: watch callback: (event, path, value) — event in {"created","changed","deleted","child"}
+WatchCallback = Callable[[str, str, Any], None]
+
+
+def _split(path: str) -> list[str]:
+    parts = [p for p in path.split("/") if p]
+    return parts
+
+
+def _normalize(path: str) -> str:
+    return "/" + "/".join(_split(path))
+
+
+@dataclass
+class _Node:
+    value: Any = None
+    version: int = 0
+    ephemeral_owner: int | None = None
+    children: dict[str, "_Node"] = field(default_factory=dict)
+
+
+class Session:
+    """A client session; closing it removes its ephemeral nodes."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, registry: "Registry"):
+        self.id = next(self._ids)
+        self.registry = registry
+        self.open = True
+
+    def close(self) -> None:
+        if self.open:
+            self.open = False
+            self.registry._expire_session(self.id)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Registry:
+    """Hierarchical key-value store with watches and ephemeral nodes."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._lock = threading.RLock()
+        self._watches: dict[str, list[WatchCallback]] = {}
+        self._child_watches: dict[str, list[WatchCallback]] = {}
+
+    def session(self) -> Session:
+        return Session(self)
+
+    # -- navigation -------------------------------------------------------
+
+    def _find(self, path: str) -> _Node | None:
+        node = self._root
+        for part in _split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _find_parent(self, path: str) -> tuple[_Node | None, str]:
+        parts = _split(path)
+        if not parts:
+            return None, ""
+        node = self._root
+        for part in parts[:-1]:
+            node = node.children.get(part)
+            if node is None:
+                return None, parts[-1]
+        return node, parts[-1]
+
+    # -- reads ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return self._find(path) is not None
+
+    def get(self, path: str) -> Any:
+        with self._lock:
+            node = self._find(path)
+            if node is None:
+                raise NodeNotFoundError(f"no node at {path!r}")
+            return node.value
+
+    def get_with_version(self, path: str) -> tuple[Any, int]:
+        with self._lock:
+            node = self._find(path)
+            if node is None:
+                raise NodeNotFoundError(f"no node at {path!r}")
+            return node.value, node.version
+
+    def children(self, path: str) -> list[str]:
+        with self._lock:
+            node = self._find(path)
+            if node is None:
+                raise NodeNotFoundError(f"no node at {path!r}")
+            return sorted(node.children)
+
+    # -- writes -----------------------------------------------------------------
+
+    def create(self, path: str, value: Any = None, session: Session | None = None) -> None:
+        """Create a node (parents are created implicitly as persistent)."""
+        path = _normalize(path)
+        events: list[tuple[str, str, Any]] = []
+        with self._lock:
+            node = self._root
+            parts = _split(path)
+            for i, part in enumerate(parts):
+                is_last = i == len(parts) - 1
+                child = node.children.get(part)
+                if child is None:
+                    child = _Node()
+                    if is_last:
+                        child.value = value
+                        if session is not None:
+                            child.ephemeral_owner = session.id
+                    node.children[part] = child
+                    partial = "/" + "/".join(parts[: i + 1])
+                    events.append(("created", partial, child.value))
+                    events.append(("child", "/" + "/".join(parts[:i]) if i else "/", part))
+                elif is_last:
+                    raise NodeExistsError(f"node {path!r} already exists")
+                node = child
+        self._fire(events)
+
+    def set(self, path: str, value: Any, expected_version: int | None = None) -> int:
+        """Set a node's value (creating it if absent); returns new version."""
+        path = _normalize(path)
+        events: list[tuple[str, str, Any]] = []
+        with self._lock:
+            node = self._find(path)
+            if node is None:
+                self_created = True
+            else:
+                self_created = False
+                if expected_version is not None and node.version != expected_version:
+                    raise BadVersionError(
+                        f"version mismatch at {path!r}: expected {expected_version}, "
+                        f"found {node.version}"
+                    )
+        if self_created:
+            self.create(path, value)
+            return 0
+        with self._lock:
+            node = self._find(path)
+            assert node is not None
+            node.value = value
+            node.version += 1
+            events.append(("changed", path, value))
+            version = node.version
+        self._fire(events)
+        return version
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        events: list[tuple[str, str, Any]] = []
+        with self._lock:
+            parent, leaf = self._find_parent(path)
+            if parent is None or leaf not in parent.children:
+                raise NodeNotFoundError(f"no node at {path!r}")
+            self._delete_subtree(parent, leaf, path, events)
+        self._fire(events)
+
+    def _delete_subtree(self, parent: _Node, leaf: str, path: str, events: list) -> None:
+        node = parent.children.pop(leaf)
+        self._collect_deleted(node, path, events)
+        events.append(("deleted", path, None))
+        parent_path = path.rsplit("/", 1)[0] or "/"
+        events.append(("child", parent_path, leaf))
+
+    def _collect_deleted(self, node: _Node, path: str, events: list) -> None:
+        for name, child in node.children.items():
+            child_path = f"{path}/{name}"
+            self._collect_deleted(child, child_path, events)
+            events.append(("deleted", child_path, None))
+
+    def _expire_session(self, session_id: int) -> None:
+        events: list[tuple[str, str, Any]] = []
+        with self._lock:
+            self._expire_in(self._root, "", session_id, events)
+        self._fire(events)
+
+    def _expire_in(self, node: _Node, path: str, session_id: int, events: list) -> None:
+        for name in list(node.children):
+            child = node.children[name]
+            child_path = f"{path}/{name}"
+            if child.ephemeral_owner == session_id:
+                self._delete_subtree(node, name, child_path, events)
+            else:
+                self._expire_in(child, child_path, session_id, events)
+
+    # -- watches ---------------------------------------------------------------
+
+    def watch(self, path: str, callback: WatchCallback) -> Callable[[], None]:
+        """Watch data events on ``path``; returns an unsubscribe function."""
+        path = _normalize(path)
+        with self._lock:
+            self._watches.setdefault(path, []).append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                callbacks = self._watches.get(path, [])
+                if callback in callbacks:
+                    callbacks.remove(callback)
+
+        return unsubscribe
+
+    def watch_children(self, path: str, callback: WatchCallback) -> Callable[[], None]:
+        """Watch child add/remove under ``path``."""
+        path = _normalize(path)
+        with self._lock:
+            self._child_watches.setdefault(path, []).append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                callbacks = self._child_watches.get(path, [])
+                if callback in callbacks:
+                    callbacks.remove(callback)
+
+        return unsubscribe
+
+    def _fire(self, events: list[tuple[str, str, Any]]) -> None:
+        for event, path, value in events:
+            if event == "child":
+                for callback in list(self._child_watches.get(path, [])):
+                    callback(event, path, value)
+            else:
+                for callback in list(self._watches.get(path, [])):
+                    callback(event, path, value)
+
+    # -- utility -------------------------------------------------------------------
+
+    def dump(self, path: str = "/") -> dict[str, Any]:
+        """Flatten a subtree into {path: value} (diagnostics, RQL output)."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            node = self._find(path) if path != "/" else self._root
+            if node is None:
+                return out
+            base = _normalize(path) if path != "/" else ""
+            self._dump_into(node, base, out)
+        return out
+
+    def _dump_into(self, node: _Node, path: str, out: dict[str, Any]) -> None:
+        for name, child in sorted(node.children.items()):
+            child_path = f"{path}/{name}"
+            out[child_path] = child.value
+            self._dump_into(child, child_path, out)

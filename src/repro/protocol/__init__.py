@@ -1,0 +1,6 @@
+"""Wire protocol for the proxy adaptor: framing, client driver."""
+
+from .client import ProxyClient, ProxyResult
+from .message import PacketType, encode, read_packet, send_packet
+
+__all__ = ["PacketType", "encode", "read_packet", "send_packet", "ProxyClient", "ProxyResult"]

@@ -1,0 +1,131 @@
+"""Client driver for the proxy wire protocol.
+
+Offers the same cursor-flavoured surface as the JDBC adaptor so benchmark
+code can swap ``ShardingDataSource`` for ``ProxyClient`` transparently —
+exactly how the paper swaps SSJ for SSP in its experiments.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Sequence
+
+from ..exceptions import ExecutionError, ProtocolError
+from .message import PacketType, read_packet, send_packet
+
+
+class ProxyResult:
+    """Materialized result from the proxy (the hop already paid for it)."""
+
+    def __init__(self, columns: list[str], rows: list[tuple[Any, ...]],
+                 rowcount: int = -1, message: str | None = None,
+                 generated_keys: Any = None):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+        self.message = message
+        self.generated_keys = generated_keys
+        self._cursor = 0
+
+    @property
+    def description(self) -> list[tuple] | None:
+        if not self.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self.columns]
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        if self._cursor >= len(self.rows):
+            return None
+        row = self.rows[self._cursor]
+        self._cursor += 1
+        return row
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        rows = self.rows[self._cursor:]
+        self._cursor = len(self.rows)
+        return rows
+
+    def __iter__(self):
+        return iter(self.fetchall())
+
+
+class ProxyClient:
+    """One client session against a ShardingSphere-Proxy server."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        self._lock = threading.Lock()
+        self._closed = False
+        send_packet(self._sock, PacketType.HANDSHAKE, {"client": "repro-driver"})
+        packet_type, body = read_packet(self._sock)
+        if packet_type is not PacketType.HANDSHAKE_OK:
+            raise ProtocolError(f"handshake failed: {body}")
+        self.server_info = body
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            send_packet(self._sock, PacketType.QUIT, {})
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ProxyClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ProxyResult:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        with self._lock:
+            send_packet(self._sock, PacketType.QUERY, {"sql": sql, "params": list(params)})
+            packet_type, body = read_packet(self._sock)
+            if packet_type is PacketType.ERROR:
+                raise ExecutionError(f"proxy error: {body.get('message')}")
+            if packet_type is PacketType.OK:
+                return ProxyResult(
+                    [], [],
+                    rowcount=body.get("rowcount", -1),
+                    message=body.get("message"),
+                    generated_keys=body.get("generated_keys"),
+                )
+            if packet_type is not PacketType.RESULT_HEADER:
+                raise ProtocolError(f"unexpected packet {packet_type.name}")
+            columns = body["columns"]
+            rows: list[tuple[Any, ...]] = []
+            while True:
+                packet_type, body = read_packet(self._sock)
+                if packet_type is PacketType.ROW_BATCH:
+                    rows.extend(tuple(r) for r in body["rows"])
+                elif packet_type is PacketType.RESULT_END:
+                    break
+                elif packet_type is PacketType.ERROR:
+                    raise ExecutionError(f"proxy error mid-stream: {body.get('message')}")
+                else:
+                    raise ProtocolError(f"unexpected packet {packet_type.name}")
+            return ProxyResult(columns, rows)
+
+    # -- convenience TCL -------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")

@@ -1,0 +1,86 @@
+"""Wire protocol framing for the proxy adaptor.
+
+A simplified stand-in for the MySQL/PostgreSQL client-server protocols the
+real ShardingSphere-Proxy implements: length-prefixed packets carrying a
+one-byte command/response type and a JSON body. What matters for the
+paper's measurements is that every proxy request really crosses a socket
+with serialize/deserialize cost on both sides.
+
+Packet layout: ``uint32 length (big endian) | uint8 type | body(json)``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import json
+import socket
+import struct
+from typing import Any
+
+from ..exceptions import ProtocolError
+
+MAX_PACKET = 64 * 1024 * 1024
+
+
+class PacketType(enum.IntEnum):
+    # client -> server
+    HANDSHAKE = 1
+    QUERY = 2
+    QUIT = 3
+    # server -> client
+    HANDSHAKE_OK = 10
+    OK = 11
+    RESULT_HEADER = 12
+    ROW_BATCH = 13
+    RESULT_END = 14
+    ERROR = 15
+
+
+def _default(value: Any) -> Any:
+    if isinstance(value, (datetime.datetime, datetime.date)):
+        return {"__dt__": value.isoformat()}
+    raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def _object_hook(obj: dict) -> Any:
+    if "__dt__" in obj and len(obj) == 1:
+        return datetime.datetime.fromisoformat(obj["__dt__"])
+    return obj
+
+
+def encode(packet_type: PacketType, body: Any) -> bytes:
+    payload = json.dumps(body, default=_default).encode("utf-8")
+    if len(payload) + 1 > MAX_PACKET:
+        raise ProtocolError(f"packet of {len(payload)} bytes exceeds limit")
+    return struct.pack(">IB", len(payload) + 1, int(packet_type)) + payload
+
+
+def read_packet(sock: socket.socket) -> tuple[PacketType, Any]:
+    header = _read_exact(sock, 5)
+    (length, type_byte) = struct.unpack(">IB", header)
+    if length < 1 or length > MAX_PACKET:
+        raise ProtocolError(f"bad packet length {length}")
+    payload = _read_exact(sock, length - 1)
+    try:
+        packet_type = PacketType(type_byte)
+    except ValueError:
+        raise ProtocolError(f"unknown packet type {type_byte}") from None
+    body = json.loads(payload.decode("utf-8"), object_hook=_object_hook) if payload else None
+    return packet_type, body
+
+
+def send_packet(sock: socket.socket, packet_type: PacketType, body: Any) -> None:
+    sock.sendall(encode(packet_type, body))
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-packet")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

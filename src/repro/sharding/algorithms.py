@@ -1,0 +1,467 @@
+"""Preset sharding algorithms and the SPI-style algorithm registry.
+
+The paper states ShardingSphere "presets 10 sharding algorithms" loadable
+through Java's SPI mechanism, and that users extend them by implementing
+``ShardingAlgorithm``. This module mirrors that: ten presets matching the
+upstream catalogue (MOD, HASH_MOD, VOLUME_RANGE, BOUNDARY_RANGE,
+AUTO_INTERVAL, INTERVAL, INLINE, COMPLEX_INLINE, HINT_INLINE, CLASS_BASED)
+plus :func:`register_algorithm` as the SPI extension point.
+
+An algorithm maps sharding-column values onto *target names* (actual table
+names or data source names). Precise values (``=`` / ``IN``) go through
+:meth:`ShardingAlgorithm.do_sharding`; ranges (``BETWEEN`` / comparisons)
+go through :meth:`ShardingAlgorithm.do_range_sharding`, which conservatively
+returns all targets unless the algorithm can prune.
+"""
+
+from __future__ import annotations
+
+import abc
+import datetime
+import hashlib
+import re
+from typing import Any, Callable, Iterable, Sequence
+
+from ..exceptions import ShardingConfigError, UnknownAlgorithmError
+
+
+class ShardingAlgorithm(abc.ABC):
+    """Base class for all sharding algorithms."""
+
+    type_name: str = ""
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        self.props = dict(props or {})
+
+    @abc.abstractmethod
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        """Pick the single target holding ``value``."""
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        """Targets that may hold values in [low, high]; default: all."""
+        return list(targets)
+
+    # -- helpers shared by suffix-matching algorithms ----------------------
+
+    @staticmethod
+    def pick_by_index(targets: Sequence[str], index: int) -> str:
+        """Match a shard index to a target by its numeric suffix.
+
+        Mirrors ShardingSphere's convention of actual tables named
+        ``t_user_0``, ``t_user_1``: the target whose trailing number equals
+        ``index`` wins; with no suffix match, fall back positionally.
+        """
+        for target in targets:
+            match = re.search(r"(\d+)$", target)
+            if match is not None and int(match.group(1)) == index:
+                return target
+        ordered = sorted(targets)
+        return ordered[index % len(ordered)]
+
+
+# ---------------------------------------------------------------------------
+# Modulo family
+# ---------------------------------------------------------------------------
+
+
+class ModShardingAlgorithm(ShardingAlgorithm):
+    """``value % sharding-count`` for integral sharding keys."""
+
+    type_name = "MOD"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        self.sharding_count = int(self.props.get("sharding-count", 0))
+        if self.sharding_count <= 0:
+            raise ShardingConfigError("MOD requires a positive 'sharding-count'")
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        index = int(value) % self.sharding_count
+        return self.pick_by_index(targets, index)
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        if low is None or high is None:
+            return list(targets)
+        low_i, high_i = int(low), int(high)
+        if high_i - low_i + 1 >= self.sharding_count:
+            return list(targets)
+        return [self.pick_by_index(targets, v % self.sharding_count) for v in range(low_i, high_i + 1)]
+
+
+class HashModShardingAlgorithm(ShardingAlgorithm):
+    """``hash(value) % sharding-count``; works for any key type.
+
+    Uses md5 so results are stable across processes (Python's builtin
+    ``hash`` is salted per process, which would break AutoTable restarts).
+    """
+
+    type_name = "HASH_MOD"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        self.sharding_count = int(self.props.get("sharding-count", 0))
+        if self.sharding_count <= 0:
+            raise ShardingConfigError("HASH_MOD requires a positive 'sharding-count'")
+
+    @staticmethod
+    def stable_hash(value: Any) -> int:
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            return value if value >= 0 else -value
+        digest = hashlib.md5(str(value).encode("utf-8")).hexdigest()
+        return int(digest[:15], 16)
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        index = self.stable_hash(value) % self.sharding_count
+        return self.pick_by_index(targets, index)
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        # Integral keys hash to themselves, so small ranges can be pruned
+        # exactly like MOD; anything else scatters across all shards.
+        if isinstance(low, int) and isinstance(high, int) and high - low + 1 < self.sharding_count:
+            return [self.pick_by_index(targets, self.stable_hash(v) % self.sharding_count)
+                    for v in range(low, high + 1)]
+        return list(targets)
+
+
+# ---------------------------------------------------------------------------
+# Range family
+# ---------------------------------------------------------------------------
+
+
+class VolumeRangeShardingAlgorithm(ShardingAlgorithm):
+    """Fixed-volume ranges: [lower, upper) split every ``sharding-volume``."""
+
+    type_name = "VOLUME_RANGE"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        try:
+            self.lower = float(self.props["range-lower"])
+            self.upper = float(self.props["range-upper"])
+            self.volume = float(self.props["sharding-volume"])
+        except KeyError as exc:
+            raise ShardingConfigError(f"VOLUME_RANGE missing property {exc}") from None
+        if self.volume <= 0 or self.upper <= self.lower:
+            raise ShardingConfigError("VOLUME_RANGE requires upper > lower and volume > 0")
+        self.partitions = int((self.upper - self.lower + self.volume - 1) // self.volume) + 2
+
+    def _index_of(self, value: Any) -> int:
+        v = float(value)
+        if v < self.lower:
+            return 0
+        if v >= self.upper:
+            return self.partitions - 1
+        return int((v - self.lower) // self.volume) + 1
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        return self.pick_by_index(targets, self._index_of(value))
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        if low is None:
+            low = self.lower - 1
+        if high is None:
+            high = self.upper
+        indices = range(self._index_of(low), self._index_of(high) + 1)
+        seen: dict[str, None] = {}
+        for index in indices:
+            seen.setdefault(self.pick_by_index(targets, index))
+        return list(seen)
+
+
+class BoundaryRangeShardingAlgorithm(ShardingAlgorithm):
+    """Explicit boundaries: ``sharding-ranges`` = "10,20,30" gives 4 shards."""
+
+    type_name = "BOUNDARY_RANGE"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        raw = self.props.get("sharding-ranges", "")
+        if isinstance(raw, str):
+            parts = [p.strip() for p in raw.split(",") if p.strip()]
+        else:
+            parts = list(raw)
+        try:
+            self.boundaries = sorted(float(p) for p in parts)
+        except ValueError:
+            raise ShardingConfigError("BOUNDARY_RANGE 'sharding-ranges' must be numeric") from None
+        if not self.boundaries:
+            raise ShardingConfigError("BOUNDARY_RANGE requires non-empty 'sharding-ranges'")
+
+    def _index_of(self, value: Any) -> int:
+        v = float(value)
+        for i, boundary in enumerate(self.boundaries):
+            if v < boundary:
+                return i
+        return len(self.boundaries)
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        return self.pick_by_index(targets, self._index_of(value))
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        low_i = self._index_of(low) if low is not None else 0
+        high_i = self._index_of(high) if high is not None else len(self.boundaries)
+        seen: dict[str, None] = {}
+        for index in range(low_i, high_i + 1):
+            seen.setdefault(self.pick_by_index(targets, index))
+        return list(seen)
+
+
+# ---------------------------------------------------------------------------
+# Time family
+# ---------------------------------------------------------------------------
+
+
+def _to_datetime(value: Any) -> datetime.datetime:
+    if isinstance(value, datetime.datetime):
+        return value
+    if isinstance(value, datetime.date):
+        return datetime.datetime(value.year, value.month, value.day)
+    if isinstance(value, (int, float)):
+        return datetime.datetime.fromtimestamp(value, tz=datetime.timezone.utc).replace(tzinfo=None)
+    return datetime.datetime.fromisoformat(str(value))
+
+
+class AutoIntervalShardingAlgorithm(ShardingAlgorithm):
+    """Even time slices of ``sharding-seconds`` between lower and upper."""
+
+    type_name = "AUTO_INTERVAL"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        try:
+            self.lower = _to_datetime(self.props["datetime-lower"])
+            self.upper = _to_datetime(self.props["datetime-upper"])
+            self.seconds = int(self.props["sharding-seconds"])
+        except KeyError as exc:
+            raise ShardingConfigError(f"AUTO_INTERVAL missing property {exc}") from None
+        if self.seconds <= 0 or self.upper <= self.lower:
+            raise ShardingConfigError("AUTO_INTERVAL requires upper > lower and positive seconds")
+
+    def _index_of(self, value: Any) -> int:
+        moment = _to_datetime(value)
+        if moment < self.lower:
+            return 0
+        offset = int((moment - self.lower).total_seconds()) // self.seconds
+        return offset + 1
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        return self.pick_by_index(targets, self._index_of(value))
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        if low is None or high is None:
+            return list(targets)
+        seen: dict[str, None] = {}
+        for index in range(self._index_of(low), self._index_of(high) + 1):
+            seen.setdefault(self.pick_by_index(targets, index))
+        return list(seen)
+
+
+class IntervalShardingAlgorithm(ShardingAlgorithm):
+    """Calendar intervals: one shard per day/month/year slice.
+
+    ``datetime-interval-unit`` in {DAYS, MONTHS, YEARS}; the shard suffix
+    is the formatted slice (e.g. ``t_log_202111``), mirroring the upstream
+    INTERVAL algorithm's ``sharding-suffix-pattern``.
+    """
+
+    type_name = "INTERVAL"
+
+    _FORMATS = {"DAYS": "%Y%m%d", "MONTHS": "%Y%m", "YEARS": "%Y"}
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        unit = str(self.props.get("datetime-interval-unit", "MONTHS")).upper()
+        if unit not in self._FORMATS:
+            raise ShardingConfigError(f"INTERVAL unit must be one of {sorted(self._FORMATS)}")
+        self.unit = unit
+        self.suffix_format = self.props.get("sharding-suffix-pattern", self._FORMATS[unit])
+
+    def _suffix_of(self, value: Any) -> str:
+        return _to_datetime(value).strftime(self.suffix_format)
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        suffix = self._suffix_of(value)
+        for target in targets:
+            if target.endswith(suffix):
+                return target
+        raise ShardingConfigError(
+            f"no target with suffix {suffix!r} among {sorted(targets)}"
+        )
+
+    def do_range_sharding(self, targets: Sequence[str], low: Any, high: Any) -> list[str]:
+        if low is None or high is None:
+            return list(targets)
+        low_dt, high_dt = _to_datetime(low), _to_datetime(high)
+        out = []
+        for target in targets:
+            match = re.search(r"(\d+)$", target)
+            if match is None:
+                continue
+            try:
+                slice_dt = datetime.datetime.strptime(match.group(1), self.suffix_format)
+            except ValueError:
+                continue
+            if self._slice_overlaps(slice_dt, low_dt, high_dt):
+                out.append(target)
+        return out or list(targets)
+
+    def _slice_overlaps(self, start: datetime.datetime, low: datetime.datetime, high: datetime.datetime) -> bool:
+        if self.unit == "DAYS":
+            end = start + datetime.timedelta(days=1)
+        elif self.unit == "MONTHS":
+            end = (start.replace(day=1) + datetime.timedelta(days=32)).replace(day=1)
+        else:
+            end = start.replace(year=start.year + 1)
+        return start <= high and end > low
+
+
+# ---------------------------------------------------------------------------
+# Inline family
+# ---------------------------------------------------------------------------
+
+_INLINE_PATTERN = re.compile(r"\$\{([^}]*)\}")
+_SAFE_GLOBALS = {"__builtins__": {}, "abs": abs, "int": int, "str": str, "len": len, "hash": HashModShardingAlgorithm.stable_hash}
+
+
+def evaluate_inline(expression: str, bindings: dict[str, Any]) -> str:
+    """Evaluate a ShardingSphere inline expression like ``t_user_${uid % 2}``.
+
+    The upstream system uses Groovy; we evaluate the ``${...}`` fragments
+    as restricted Python expressions over the sharding-column bindings.
+    """
+
+    def substitute(match: re.Match[str]) -> str:
+        fragment = match.group(1)
+        try:
+            value = eval(fragment, dict(_SAFE_GLOBALS), dict(bindings))  # noqa: S307
+        except Exception as exc:
+            raise ShardingConfigError(f"inline expression {fragment!r} failed: {exc}") from exc
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        return str(value)
+
+    return _INLINE_PATTERN.sub(substitute, expression)
+
+
+class InlineShardingAlgorithm(ShardingAlgorithm):
+    """Single-column inline expression, e.g. ``t_user_h${uid % 2}``."""
+
+    type_name = "INLINE"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        self.expression = self.props.get("algorithm-expression", "")
+        if "${" not in self.expression:
+            raise ShardingConfigError("INLINE requires an 'algorithm-expression' with ${...}")
+        self.column = self.props.get("sharding-column")
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        bindings = {self.column or "value": value, "value": value}
+        target = evaluate_inline(self.expression, bindings)
+        if target not in targets:
+            raise ShardingConfigError(f"inline produced {target!r}, not in {sorted(targets)}")
+        return target
+
+
+class ComplexInlineShardingAlgorithm(ShardingAlgorithm):
+    """Multi-column inline expression over a dict of sharding values."""
+
+    type_name = "COMPLEX_INLINE"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        self.expression = self.props.get("algorithm-expression", "")
+        if "${" not in self.expression:
+            raise ShardingConfigError("COMPLEX_INLINE requires an 'algorithm-expression'")
+        raw = self.props.get("sharding-columns", "")
+        self.columns = [c.strip() for c in raw.split(",") if c.strip()]
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        if not isinstance(value, dict):
+            raise ShardingConfigError("COMPLEX_INLINE expects a column->value mapping")
+        target = evaluate_inline(self.expression, value)
+        if target not in targets:
+            raise ShardingConfigError(f"inline produced {target!r}, not in {sorted(targets)}")
+        return target
+
+
+class HintInlineShardingAlgorithm(ShardingAlgorithm):
+    """Routes by an externally supplied hint value, not a column."""
+
+    type_name = "HINT_INLINE"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        self.expression = self.props.get("algorithm-expression", "${value}")
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        target = evaluate_inline(self.expression, {"value": value})
+        if target not in targets:
+            raise ShardingConfigError(f"hint produced {target!r}, not in {sorted(targets)}")
+        return target
+
+
+class ClassBasedShardingAlgorithm(ShardingAlgorithm):
+    """Delegates to a user-provided callable (the CLASS_BASED preset)."""
+
+    type_name = "CLASS_BASED"
+
+    def __init__(self, props: dict[str, Any] | None = None):
+        super().__init__(props)
+        func = self.props.get("function")
+        if not callable(func):
+            raise ShardingConfigError("CLASS_BASED requires a callable 'function' property")
+        self.function: Callable[[Sequence[str], Any], str] = func
+
+    def do_sharding(self, targets: Sequence[str], value: Any) -> str:
+        return self.function(targets, value)
+
+
+# ---------------------------------------------------------------------------
+# SPI-style registry
+# ---------------------------------------------------------------------------
+
+_ALGORITHMS: dict[str, type[ShardingAlgorithm]] = {}
+
+
+def register_algorithm(cls: type[ShardingAlgorithm]) -> type[ShardingAlgorithm]:
+    """Register an algorithm class under its ``type_name`` (SPI analogue).
+
+    Usable as a decorator on user-defined algorithms.
+    """
+    if not cls.type_name:
+        raise ShardingConfigError(f"{cls.__name__} must define a type_name")
+    _ALGORITHMS[cls.type_name.upper()] = cls
+    return cls
+
+
+def create_algorithm(type_name: str, props: dict[str, Any] | None = None) -> ShardingAlgorithm:
+    """Instantiate a registered algorithm by type name."""
+    try:
+        cls = _ALGORITHMS[type_name.upper()]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown sharding algorithm {type_name!r}; known: {sorted(_ALGORITHMS)}"
+        ) from None
+    return cls(props)
+
+
+def available_algorithms() -> list[str]:
+    return sorted(_ALGORITHMS)
+
+
+for _cls in (
+    ModShardingAlgorithm,
+    HashModShardingAlgorithm,
+    VolumeRangeShardingAlgorithm,
+    BoundaryRangeShardingAlgorithm,
+    AutoIntervalShardingAlgorithm,
+    IntervalShardingAlgorithm,
+    InlineShardingAlgorithm,
+    ComplexInlineShardingAlgorithm,
+    HintInlineShardingAlgorithm,
+    ClassBasedShardingAlgorithm,
+):
+    register_algorithm(_cls)

@@ -1,0 +1,101 @@
+"""AutoTable strategy (Section V-A of the paper).
+
+Traditionally the DBA creates physical tables by hand and then writes
+sharding rules that reference them. AutoTable inverts this: the user names
+the resources and the shard count; ShardingSphere computes the data
+distribution, creates the physical tables in the underlying data sources
+and binds logic to actual tables automatically.
+
+``build_auto_table_rule`` computes the distribution (round-robin across
+resources, as upstream); ``create_physical_tables`` materializes the
+actual tables from the logic table's schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import ShardingConfigError
+from ..sql import ast
+from ..storage import DataSource, TableSchema
+from .algorithms import ShardingAlgorithm, create_algorithm
+from .keygen import create_key_generator
+from .rule import DataNode, KeyGenerateConfig, StandardShardingStrategy, TableRule
+
+
+def compute_data_nodes(logic_table: str, resources: Sequence[str], sharding_count: int) -> list[DataNode]:
+    """Round-robin shard placement: shard i -> resources[i % len(resources)]."""
+    if sharding_count < 1:
+        raise ShardingConfigError("sharding-count must be >= 1")
+    if not resources:
+        raise ShardingConfigError("AutoTable needs at least one resource")
+    return [
+        DataNode(resources[i % len(resources)], f"{logic_table}_{i}")
+        for i in range(sharding_count)
+    ]
+
+
+def build_auto_table_rule(
+    logic_table: str,
+    resources: Sequence[str],
+    sharding_column: str,
+    algorithm_type: str = "HASH_MOD",
+    properties: Mapping[str, Any] | None = None,
+    key_generate_column: str | None = None,
+    key_generator_type: str = "SNOWFLAKE",
+) -> TableRule:
+    """Build the TableRule for an AutoTable definition.
+
+    ``properties`` must carry the algorithm's knobs (e.g. "sharding-count").
+    The returned rule routes in a single step over actual table names; the
+    table->resource assignment is the round-robin layout above.
+    """
+    props = dict(properties or {})
+    algorithm = create_algorithm(algorithm_type, props)
+    count = getattr(algorithm, "sharding_count", None)
+    if count is None:
+        count = int(props.get("sharding-count", 0))
+    if count < 1:
+        raise ShardingConfigError(
+            f"AutoTable with algorithm {algorithm_type!r} needs a 'sharding-count'"
+        )
+    nodes = compute_data_nodes(logic_table, list(resources), count)
+    key_generate = None
+    if key_generate_column:
+        key_generate = KeyGenerateConfig(
+            column=key_generate_column,
+            generator=create_key_generator(key_generator_type),
+        )
+    return TableRule(
+        logic_table,
+        nodes,
+        table_strategy=StandardShardingStrategy(sharding_column, algorithm),
+        key_generate=key_generate,
+        auto=True,
+    )
+
+
+def create_physical_tables(
+    rule: TableRule,
+    schema: TableSchema | ast.CreateTableStatement,
+    data_sources: Mapping[str, DataSource],
+    if_not_exists: bool = True,
+) -> list[DataNode]:
+    """Create every actual table of ``rule`` in its data source.
+
+    ``schema`` is the logic table's definition; each actual table gets a
+    renamed clone. Returns the nodes that were (or already were) created.
+    """
+    if isinstance(schema, ast.CreateTableStatement):
+        schema = TableSchema.from_ast(schema)
+    created: list[DataNode] = []
+    for node in rule.data_nodes:
+        try:
+            source = data_sources[node.data_source]
+        except KeyError:
+            raise ShardingConfigError(
+                f"rule for {rule.logic_table!r} references unknown resource {node.data_source!r}"
+            ) from None
+        source.database.create_table(schema.clone_renamed(node.table), if_not_exists=if_not_exists)
+        created.append(node)
+    return created

@@ -1,0 +1,83 @@
+"""SQL dialect dictionaries.
+
+The paper's parser ships "SQL dialect dictionaries of different types of
+databases". A dialect here controls identifier quoting, string escaping and
+pagination syntax — the aspects that differ between the six integrated
+databases when the rewriter regenerates SQL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ShardingConfigError
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Rendering rules for one database family."""
+
+    name: str
+    identifier_quote: str = '"'
+    identifier_quote_close: str = '"'
+    #: "limit_offset" -> LIMIT n OFFSET m; "limit_comma" -> LIMIT m, n;
+    #: "fetch" -> OFFSET m ROWS FETCH NEXT n ROWS ONLY
+    limit_style: str = "limit_offset"
+    supports_boolean_literal: bool = True
+
+    def quote(self, identifier: str) -> str:
+        return f"{self.identifier_quote}{identifier}{self.identifier_quote_close}"
+
+    def render_limit(self, count: str | None, offset: str | None) -> str:
+        """Render the pagination clause (without a leading space)."""
+        if count is None and offset is None:
+            return ""
+        if self.limit_style == "limit_comma" and count is not None and offset is not None:
+            return f"LIMIT {offset}, {count}"
+        if self.limit_style == "fetch":
+            parts = []
+            if offset is not None:
+                parts.append(f"OFFSET {offset} ROWS")
+            if count is not None:
+                parts.append(f"FETCH NEXT {count} ROWS ONLY")
+            return " ".join(parts)
+        parts = []
+        if count is not None:
+            parts.append(f"LIMIT {count}")
+        if offset is not None:
+            parts.append(f"OFFSET {offset}")
+        return " ".join(parts)
+
+
+MYSQL = Dialect(name="MySQL", identifier_quote="`", identifier_quote_close="`", limit_style="limit_comma")
+MARIADB = Dialect(name="MariaDB", identifier_quote="`", identifier_quote_close="`", limit_style="limit_comma")
+POSTGRESQL = Dialect(name="PostgreSQL")
+OPENGAUSS = Dialect(name="openGauss")
+SQLSERVER = Dialect(
+    name="SQLServer", identifier_quote="[", identifier_quote_close="]", limit_style="fetch",
+    supports_boolean_literal=False,
+)
+ORACLE = Dialect(name="Oracle", limit_style="fetch", supports_boolean_literal=False)
+SQL92 = Dialect(name="SQL92")
+
+_REGISTRY: dict[str, Dialect] = {
+    d.name.lower(): d
+    for d in (MYSQL, MARIADB, POSTGRESQL, OPENGAUSS, SQLSERVER, ORACLE, SQL92)
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by case-insensitive name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ShardingConfigError(f"unknown dialect {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def register_dialect(dialect: Dialect) -> None:
+    """Register a custom dialect (SPI-style extension point)."""
+    _REGISTRY[dialect.name.lower()] = dialect
+
+
+def available_dialects() -> list[str]:
+    return sorted(_REGISTRY)

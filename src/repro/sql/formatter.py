@@ -1,0 +1,220 @@
+"""AST -> SQL text formatter.
+
+The rewriter mutates the AST (actual table names, derived columns, revised
+pagination) and then uses this module to regenerate executable SQL for the
+underlying data sources, honoring each target's dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import RewriteError
+from . import ast
+from .dialects import SQL92, Dialect
+
+
+def format_statement(stmt: ast.Statement, dialect: Dialect = SQL92) -> str:
+    """Render a statement AST back to SQL text in the given dialect."""
+    formatter = _Formatter(dialect)
+    return formatter.statement(stmt)
+
+
+def format_expression(expr: ast.Expression, dialect: Dialect = SQL92) -> str:
+    return _Formatter(dialect).expr(expr)
+
+
+def format_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+class _Formatter:
+    def __init__(self, dialect: Dialect):
+        self.dialect = dialect
+
+    # -- statements -----------------------------------------------------
+
+    def statement(self, stmt: ast.Statement) -> str:
+        if isinstance(stmt, ast.SelectStatement):
+            return self.select(stmt)
+        if isinstance(stmt, ast.InsertStatement):
+            return self.insert(stmt)
+        if isinstance(stmt, ast.UpdateStatement):
+            return self.update(stmt)
+        if isinstance(stmt, ast.DeleteStatement):
+            return self.delete(stmt)
+        if isinstance(stmt, ast.CreateTableStatement):
+            return self.create_table(stmt)
+        if isinstance(stmt, ast.DropTableStatement):
+            suffix = "IF EXISTS " if stmt.if_exists else ""
+            return f"DROP TABLE {suffix}{stmt.table.name}"
+        if isinstance(stmt, ast.CreateIndexStatement):
+            unique = "UNIQUE " if stmt.unique else ""
+            cols = ", ".join(stmt.columns)
+            return f"CREATE {unique}INDEX {stmt.index_name} ON {stmt.table.name} ({cols})"
+        if isinstance(stmt, ast.TruncateStatement):
+            return f"TRUNCATE TABLE {stmt.table.name}"
+        if isinstance(stmt, ast.BeginStatement):
+            return "BEGIN"
+        if isinstance(stmt, ast.CommitStatement):
+            return "COMMIT"
+        if isinstance(stmt, ast.RollbackStatement):
+            return "ROLLBACK"
+        if isinstance(stmt, ast.SetStatement):
+            return f"SET {stmt.name} = {format_literal(stmt.value)}"
+        if isinstance(stmt, ast.ShowStatement):
+            return f"SHOW {stmt.subject}"
+        raise RewriteError(f"cannot format statement of type {type(stmt).__name__}")
+
+    def select(self, stmt: ast.SelectStatement) -> str:
+        parts = ["SELECT"]
+        if stmt.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self.select_item(item) for item in stmt.select_items))
+        if stmt.from_table is not None:
+            parts.append("FROM")
+            parts.append(self.table_ref(stmt.from_table))
+        for join in stmt.joins:
+            if join.kind == "CROSS":
+                parts.append(f"CROSS JOIN {self.table_ref(join.table)}")
+            else:
+                parts.append(f"{join.kind} JOIN {self.table_ref(join.table)}")
+            if join.condition is not None:
+                parts.append(f"ON {self.expr(join.condition)}")
+        if stmt.where is not None:
+            parts.append(f"WHERE {self.expr(stmt.where)}")
+        if stmt.group_by:
+            parts.append("GROUP BY " + ", ".join(self.expr(e) for e in stmt.group_by))
+        if stmt.having is not None:
+            parts.append(f"HAVING {self.expr(stmt.having)}")
+        if stmt.order_by:
+            rendered = ", ".join(
+                self.expr(item.expression) + (" DESC" if item.desc else "")
+                for item in stmt.order_by
+            )
+            parts.append("ORDER BY " + rendered)
+        if stmt.limit is not None:
+            count = self.expr(stmt.limit.count) if stmt.limit.count is not None else None
+            offset = self.expr(stmt.limit.offset) if stmt.limit.offset is not None else None
+            clause = self.dialect.render_limit(count, offset)
+            if clause:
+                parts.append(clause)
+        if stmt.for_update:
+            parts.append("FOR UPDATE")
+        return " ".join(parts)
+
+    def select_item(self, item: ast.SelectItem) -> str:
+        text = self.expr(item.expression)
+        if item.alias:
+            return f"{text} AS {item.alias}"
+        return text
+
+    def insert(self, stmt: ast.InsertStatement) -> str:
+        cols = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+        rows = ", ".join(
+            "(" + ", ".join(self.expr(v) for v in row) + ")" for row in stmt.values_rows
+        )
+        return f"INSERT INTO {stmt.table.name}{cols} VALUES {rows}"
+
+    def update(self, stmt: ast.UpdateStatement) -> str:
+        sets = ", ".join(f"{col} = {self.expr(value)}" for col, value in stmt.assignments)
+        sql = f"UPDATE {self.table_ref(stmt.table)} SET {sets}"
+        if stmt.where is not None:
+            sql += f" WHERE {self.expr(stmt.where)}"
+        return sql
+
+    def delete(self, stmt: ast.DeleteStatement) -> str:
+        sql = f"DELETE FROM {stmt.table.name}"
+        if stmt.where is not None:
+            sql += f" WHERE {self.expr(stmt.where)}"
+        return sql
+
+    def create_table(self, stmt: ast.CreateTableStatement) -> str:
+        defs = []
+        for col in stmt.columns:
+            text = f"{col.name} {col.type_name}"
+            if col.length is not None:
+                text += f"({col.length})"
+            if col.not_null:
+                text += " NOT NULL"
+            if col.auto_increment:
+                text += " AUTO_INCREMENT"
+            if col.unique:
+                text += " UNIQUE"
+            if col.default is not None:
+                text += f" DEFAULT {format_literal(col.default)}"
+            defs.append(text)
+        if stmt.primary_key:
+            defs.append(f"PRIMARY KEY ({', '.join(stmt.primary_key)})")
+        exists = "IF NOT EXISTS " if stmt.if_not_exists else ""
+        return f"CREATE TABLE {exists}{stmt.table.name} ({', '.join(defs)})"
+
+    def table_ref(self, ref: ast.TableRef) -> str:
+        if ref.alias:
+            return f"{ref.name} {ref.alias}"
+        return ref.name
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, node: ast.Expression) -> str:
+        if isinstance(node, ast.Literal):
+            return format_literal(node.value)
+        if isinstance(node, ast.Placeholder):
+            return "?"
+        if isinstance(node, ast.ColumnRef):
+            return node.qualified
+        if isinstance(node, ast.Star):
+            return f"{node.table}.*" if node.table else "*"
+        if isinstance(node, ast.BinaryOp):
+            left = self._maybe_paren(node.left, node.op)
+            right = self._maybe_paren(node.right, node.op)
+            return f"{left} {node.op} {right}"
+        if isinstance(node, ast.UnaryOp):
+            if node.op == "NOT":
+                return f"NOT ({self.expr(node.operand)})"
+            return f"{node.op}{self.expr(node.operand)}"
+        if isinstance(node, ast.InExpr):
+            not_kw = "NOT " if node.negated else ""
+            items = ", ".join(self.expr(i) for i in node.items)
+            return f"{self.expr(node.operand)} {not_kw}IN ({items})"
+        if isinstance(node, ast.BetweenExpr):
+            not_kw = "NOT " if node.negated else ""
+            return (
+                f"{self.expr(node.operand)} {not_kw}BETWEEN "
+                f"{self.expr(node.low)} AND {self.expr(node.high)}"
+            )
+        if isinstance(node, ast.IsNullExpr):
+            not_kw = "NOT " if node.negated else ""
+            return f"{self.expr(node.operand)} IS {not_kw}NULL"
+        if isinstance(node, ast.FunctionCall):
+            distinct = "DISTINCT " if node.distinct else ""
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{node.name}({distinct}{args})"
+        if isinstance(node, ast.CaseExpr):
+            parts = ["CASE"]
+            for cond, value in node.whens:
+                parts.append(f"WHEN {self.expr(cond)} THEN {self.expr(value)}")
+            if node.default is not None:
+                parts.append(f"ELSE {self.expr(node.default)}")
+            parts.append("END")
+            return " ".join(parts)
+        raise RewriteError(f"cannot format expression of type {type(node).__name__}")
+
+    def _maybe_paren(self, node: ast.Expression, parent_op: str) -> str:
+        text = self.expr(node)
+        if isinstance(node, ast.BinaryOp):
+            from .parser import _PRECEDENCE
+
+            child = _PRECEDENCE.get(node.op, 10)
+            parent = _PRECEDENCE.get(parent_op, 10)
+            if child < parent:
+                return f"({text})"
+        return text

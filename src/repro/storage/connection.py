@@ -1,0 +1,256 @@
+"""DB-API-flavored connections and cursors for a data source.
+
+This is the JDBC stand-in: the sharding executor, the adaptors and the
+benchmarks all talk to data sources through :class:`Connection` /
+:class:`Cursor`. Cursors stream rows from the engine lazily, which is what
+lets the result merger choose stream merging over memory merging.
+
+Isolation note: like the paper's setup, transactional isolation is provided
+by the underlying data source. Our engine implements statement-atomic
+writes with undo-based rollback (roughly READ COMMITTED without MVCC);
+that is sufficient for every behaviour the paper measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from ..exceptions import ConnectionClosedError, TransactionError
+from ..sql import ast, parse
+from .executor import QueryResult, execute_statement
+from .latency import pay
+from .transaction import Transaction, commit_prepared, rollback_prepared
+
+if TYPE_CHECKING:
+    from .engine import DataSource
+
+_connection_ids = itertools.count(1)
+
+
+class Connection:
+    """A session against one data source.
+
+    Starts in autocommit mode (each DML statement commits immediately),
+    like a fresh JDBC/MySQL connection. ``begin()`` or executing ``BEGIN``
+    opens an explicit transaction ended by ``commit()``/``rollback()``.
+    """
+
+    def __init__(self, data_source: "DataSource"):
+        self.data_source = data_source
+        self.database = data_source.database
+        self.id = next(_connection_ids)
+        self.autocommit = True
+        self._transaction: Transaction | None = None
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._transaction is not None and self._transaction.status.value == "active":
+                self._transaction.rollback()
+            self._transaction = None
+            self._closed = True
+        self.data_source.on_connection_closed(self)
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+
+    # -- transaction control ---------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None and self._transaction.status.value == "active"
+
+    def current_transaction(self) -> Transaction | None:
+        """The open transaction, if any (Seata-AT inspects its undo log)."""
+        return self._transaction if self.in_transaction else None
+
+    def begin(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self.in_transaction:
+                raise TransactionError("transaction already in progress")
+            self._transaction = Transaction(self.database)
+            self.autocommit = False
+
+    def commit(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction is not None:
+                self._transaction.commit()
+                self._transaction = None
+            self.autocommit = True
+
+    def rollback(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction is not None:
+                self._transaction.rollback()
+                self._transaction = None
+            self.autocommit = True
+
+    # -- XA verbs ---------------------------------------------------------------
+
+    def xa_prepare(self, xid: str) -> None:
+        """2PC phase 1: park the open transaction as prepared under xid."""
+        self._check_open()
+        with self._lock:
+            if self._transaction is None:
+                # Read-only branch: nothing to prepare, vacuously OK.
+                return
+            self._transaction.prepare(xid)
+            self._transaction = None
+            self.autocommit = True
+
+    def xa_commit(self, xid: str) -> None:
+        commit_prepared(self.database, xid)
+
+    def xa_rollback(self, xid: str) -> None:
+        rollback_prepared(self.database, xid)
+
+    # -- statement execution ------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str | ast.Statement, params: Sequence[Any] = ()) -> "Cursor":
+        """Convenience: open a cursor and execute on it."""
+        cursor = self.cursor()
+        cursor.execute(sql, params)
+        return cursor
+
+    def _run(self, stmt: ast.Statement, params: Sequence[Any]) -> QueryResult:
+        self._check_open()
+        if isinstance(stmt, ast.BeginStatement):
+            self.begin()
+            return QueryResult(rowcount=0)
+        if isinstance(stmt, ast.CommitStatement):
+            self.commit()
+            return QueryResult(rowcount=0)
+        if isinstance(stmt, ast.RollbackStatement):
+            self.rollback()
+            return QueryResult(rowcount=0)
+
+        self.database.maybe_fail("statement")
+        if stmt.category in ("DML", "DDL"):
+            with self._lock:
+                implicit = False
+                if self._transaction is None:
+                    self._transaction = Transaction(self.database)
+                    implicit = True
+                txn = self._transaction
+                try:
+                    with self.database.write_lock():
+                        result = execute_statement(self.database, stmt, params, txn)
+                except Exception:
+                    if implicit:
+                        txn.rollback()
+                        self._transaction = None
+                    raise
+                if implicit:
+                    txn.commit()
+                    self._transaction = None
+            if result.cost > 0:
+                if result.written_table is not None:
+                    # Write I/O serializes per table (page/WAL contention):
+                    # the hot-table bottleneck the paper's sharding removes.
+                    # Lock order: table io_lock, then a server I/O channel.
+                    with result.written_table.io_lock:
+                        with self.data_source.io_semaphore:
+                            pay(result.cost)
+                else:
+                    with self.data_source.io_semaphore:
+                        pay(result.cost)
+            return result
+
+        result = execute_statement(self.database, stmt, params, self._transaction)
+        if result.cost > 0:
+            with self.data_source.io_semaphore:
+                pay(result.cost)
+        return result
+
+
+class Cursor:
+    """Streaming result cursor (DB-API style)."""
+
+    arraysize = 100
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self._result: QueryResult | None = None
+        self._rows: Iterator[tuple[Any, ...]] = iter(())
+        self._closed = False
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def description(self) -> list[tuple] | None:
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._result.columns) if self._result else []
+
+    @property
+    def rowcount(self) -> int:
+        return self._result.rowcount if self._result else -1
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, sql: str | ast.Statement, params: Sequence[Any] = ()) -> "Cursor":
+        if self._closed:
+            raise ConnectionClosedError("cursor is closed")
+        stmt = parse(sql) if isinstance(sql, str) else sql
+        self._result = self.connection._run(stmt, params)
+        self._rows = iter(self._result.rows)
+        return self
+
+    def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
+        for params in seq_of_params:
+            self.execute(sql, params)
+        return self
+
+    # -- fetching ---------------------------------------------------------------------
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        return next(self._rows, None)
+
+    def fetchmany(self, size: int | None = None) -> list[tuple[Any, ...]]:
+        limit = size if size is not None else self.arraysize
+        return list(itertools.islice(self._rows, limit))
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        return list(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return self._rows
+
+    def close(self) -> None:
+        self._rows = iter(())
+        self._closed = True
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

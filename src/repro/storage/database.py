@@ -1,0 +1,114 @@
+"""A database: named tables plus concurrency control and failure injection.
+
+Writes take the database write lock; the simulated I/O latency is charged
+*outside* the lock so concurrent clients overlap their waits the way they
+overlap real disk/network I/O. The prepared-transaction table backs XA
+recovery (see :mod:`repro.storage.transaction`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Iterator
+
+from ..exceptions import (
+    ExecutionError,
+    StorageError,
+    TableAlreadyExistsError,
+    TableNotFoundError,
+)
+from ..sql import ast
+from .latency import LatencyModel
+from .schema import TableSchema
+from .table import Table
+
+
+class Database:
+    """Named collection of tables within one data source."""
+
+    def __init__(self, name: str, latency: LatencyModel | None = None):
+        self.name = name
+        self.latency = latency if latency is not None else LatencyModel.off()
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.RLock()
+        self._prepared: dict[str, Any] = {}
+        self._fail_on: dict[str, int] = {}
+
+    # -- failure injection (tests / recovery experiments) ------------------
+
+    def fail_next(self, operation: str, times: int = 1) -> None:
+        """Make the next ``times`` occurrences of ``operation`` raise.
+
+        Operations: "prepare", "commit", "statement".
+        """
+        with self._lock:
+            self._fail_on[operation] = self._fail_on.get(operation, 0) + times
+
+    def maybe_fail(self, operation: str) -> None:
+        with self._lock:
+            remaining = self._fail_on.get(operation, 0)
+            if remaining > 0:
+                self._fail_on[operation] = remaining - 1
+                raise ExecutionError(f"injected failure on {operation} in database {self.name!r}")
+
+    # -- locking -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def write_lock(self) -> Iterator[None]:
+        with self._lock:
+            yield
+
+    # -- tables ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        with self._lock:
+            key = schema.name.lower()
+            if key in self._tables:
+                if if_not_exists:
+                    return self._tables[key]
+                raise TableAlreadyExistsError(f"table {schema.name!r} already exists in {self.name}")
+            table = Table(schema)
+            self._tables[key] = table
+            return table
+
+    def create_table_from_ast(self, stmt: ast.CreateTableStatement) -> Table:
+        return self.create_table(TableSchema.from_ast(stmt), if_not_exists=stmt.if_not_exists)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        with self._lock:
+            key = name.lower()
+            if key not in self._tables:
+                if if_exists:
+                    return
+                raise TableNotFoundError(f"table {name!r} not found in {self.name}")
+            del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise TableNotFoundError(f"table {name!r} not found in {self.name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(t.schema.name for t in self._tables.values())
+
+    # -- prepared (XA) transactions --------------------------------------------
+
+    def park_prepared(self, xid: str, txn: Any) -> None:
+        with self._lock:
+            self._prepared[xid] = txn
+
+    def take_prepared(self, xid: str) -> Any | None:
+        with self._lock:
+            return self._prepared.pop(xid, None)
+
+    def prepared_xids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._prepared)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={self.table_names()})"

@@ -1,0 +1,307 @@
+"""Expression evaluation against rows.
+
+Implements SQL three-valued logic for NULL in comparisons and boolean
+connectives, LIKE pattern matching, arithmetic and scalar functions. A row
+is a mapping from column name to value; qualified references try
+``table.column`` first, then the bare column name.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from functools import lru_cache
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import ColumnNotFoundError, ExecutionError
+from ..sql import ast
+
+UNKNOWN = object()
+"""Sentinel for SQL's three-valued UNKNOWN truth value."""
+
+
+def evaluate(expr: ast.Expression, row: Mapping[str, Any], params: Sequence[Any] = ()) -> Any:
+    """Evaluate an expression against a row; placeholders read ``params``."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Placeholder):
+        try:
+            return params[expr.index]
+        except IndexError:
+            raise ExecutionError(f"missing parameter for placeholder #{expr.index}") from None
+    if isinstance(expr, ast.ColumnRef):
+        return resolve_column(expr, row)
+    if isinstance(expr, ast.BinaryOp):
+        return _eval_binary(expr, row, params)
+    if isinstance(expr, ast.UnaryOp):
+        return _eval_unary(expr, row, params)
+    if isinstance(expr, ast.InExpr):
+        return _eval_in(expr, row, params)
+    if isinstance(expr, ast.BetweenExpr):
+        return _eval_between(expr, row, params)
+    if isinstance(expr, ast.IsNullExpr):
+        value = evaluate(expr.operand, row, params)
+        result = value is None
+        return not result if expr.negated else result
+    if isinstance(expr, ast.FunctionCall):
+        return _eval_function(expr, row, params)
+    if isinstance(expr, ast.CaseExpr):
+        for cond, value in expr.whens:
+            if is_truthy(evaluate(cond, row, params)):
+                return evaluate(value, row, params)
+        if expr.default is not None:
+            return evaluate(expr.default, row, params)
+        return None
+    if isinstance(expr, ast.Star):
+        raise ExecutionError("'*' is not a scalar expression")
+    raise ExecutionError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+def is_truthy(value: Any) -> bool:
+    """Collapse three-valued logic to WHERE semantics (UNKNOWN -> False)."""
+    if value is UNKNOWN or value is None:
+        return False
+    return bool(value)
+
+
+def resolve_column(ref: ast.ColumnRef, row: Mapping[str, Any]) -> Any:
+    """Resolve a (possibly qualified) column reference in a row mapping."""
+    if ref.table:
+        qualified = f"{ref.table}.{ref.name}"
+        if qualified in row:
+            return row[qualified]
+    if ref.name in row:
+        return row[ref.name]
+    # Case-insensitive fallback, then unqualified match of a qualified key.
+    lower = ref.name.lower()
+    for key, value in row.items():
+        bare = key.rsplit(".", 1)[-1]
+        if bare.lower() == lower:
+            if ref.table is None or key.lower().startswith(ref.table.lower() + "."):
+                return value
+    raise ColumnNotFoundError(f"column {ref.qualified!r} not found in row")
+
+
+def _eval_binary(expr: ast.BinaryOp, row: Mapping[str, Any], params: Sequence[Any]) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = _as_tvl(evaluate(expr.left, row, params))
+        if left is False:
+            return False
+        right = _as_tvl(evaluate(expr.right, row, params))
+        if right is False:
+            return False
+        if left is UNKNOWN or right is UNKNOWN:
+            return UNKNOWN
+        return True
+    if op == "OR":
+        left = _as_tvl(evaluate(expr.left, row, params))
+        if left is True:
+            return True
+        right = _as_tvl(evaluate(expr.right, row, params))
+        if right is True:
+            return True
+        if left is UNKNOWN or right is UNKNOWN:
+            return UNKNOWN
+        return False
+
+    left = evaluate(expr.left, row, params)
+    right = evaluate(expr.right, row, params)
+    if op == "<=>":
+        # NULL-safe equality: NULL <=> NULL is TRUE, never UNKNOWN.
+        if left is None or right is None:
+            return left is None and right is None
+        return _compare_values(left, right) == 0
+    if left is None or right is None:
+        if op in ("=", "<>", "!=", "<", ">", "<=", ">=", "LIKE"):
+            return UNKNOWN
+        return None
+    if op == "=":
+        return _compare_values(left, right) == 0
+    if op in ("<>", "!="):
+        return _compare_values(left, right) != 0
+    if op == "<":
+        return _compare_values(left, right) < 0
+    if op == ">":
+        return _compare_values(left, right) > 0
+    if op == "<=":
+        return _compare_values(left, right) <= 0
+    if op == ">=":
+        return _compare_values(left, right) >= 0
+    if op == "LIKE":
+        return _like_match(str(left), str(right))
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL: division by zero yields NULL (MySQL default)
+        return left / right
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    if op == "||":
+        return f"{left}{right}"
+    raise ExecutionError(f"unsupported binary operator {op!r}")
+
+
+def _eval_unary(expr: ast.UnaryOp, row: Mapping[str, Any], params: Sequence[Any]) -> Any:
+    value = evaluate(expr.operand, row, params)
+    if expr.op == "NOT":
+        tvl = _as_tvl(value)
+        if tvl is UNKNOWN:
+            return UNKNOWN
+        return not tvl
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+
+
+def _eval_in(expr: ast.InExpr, row: Mapping[str, Any], params: Sequence[Any]) -> Any:
+    value = evaluate(expr.operand, row, params)
+    if value is None:
+        return UNKNOWN
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, row, params)
+        if candidate is None:
+            saw_null = True
+            continue
+        if _compare_values(value, candidate) == 0:
+            return not expr.negated
+    if saw_null:
+        return UNKNOWN
+    return expr.negated
+
+
+def _eval_between(expr: ast.BetweenExpr, row: Mapping[str, Any], params: Sequence[Any]) -> Any:
+    value = evaluate(expr.operand, row, params)
+    low = evaluate(expr.low, row, params)
+    high = evaluate(expr.high, row, params)
+    if value is None or low is None or high is None:
+        return UNKNOWN
+    result = _compare_values(low, value) <= 0 <= _compare_values(high, value)
+    return not result if expr.negated else result
+
+
+_SCALAR_FUNCTIONS = {
+    "ABS": lambda args: None if args[0] is None else abs(args[0]),
+    "LOWER": lambda args: None if args[0] is None else str(args[0]).lower(),
+    "UPPER": lambda args: None if args[0] is None else str(args[0]).upper(),
+    "LENGTH": lambda args: None if args[0] is None else len(str(args[0])),
+    "COALESCE": lambda args: next((a for a in args if a is not None), None),
+    "IFNULL": lambda args: args[0] if args[0] is not None else args[1],
+    "ROUND": lambda args: None if args[0] is None else round(args[0], int(args[1]) if len(args) > 1 else 0),
+    "FLOOR": lambda args: None if args[0] is None else int(args[0] // 1),
+    "CEIL": lambda args: None if args[0] is None else -int(-args[0] // 1),
+    "MOD": lambda args: None if args[0] is None or not args[1] else args[0] % args[1],
+    "CONCAT": lambda args: None if any(a is None for a in args) else "".join(str(a) for a in args),
+    "SUBSTRING": lambda args: _substring(args),
+    "NOW": lambda args: datetime.datetime.now(),
+}
+
+
+def _substring(args: list[Any]) -> Any:
+    if args[0] is None:
+        return None
+    text = str(args[0])
+    start = int(args[1]) - 1 if len(args) > 1 else 0
+    if len(args) > 2:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+def _eval_function(expr: ast.FunctionCall, row: Mapping[str, Any], params: Sequence[Any]) -> Any:
+    name = expr.name.upper()
+    if expr.is_aggregate:
+        # Aggregates in a post-aggregation context: the executor stores the
+        # computed value in the row keyed by the rendered call.
+        from ..sql.formatter import format_expression
+
+        key = format_expression(expr)
+        if key in row:
+            return row[key]
+        raise ExecutionError(f"aggregate {key} not available in this context")
+    if name == "CAST":
+        value = evaluate(expr.args[0], row, params)
+        target = expr.args[1].value if isinstance(expr.args[1], ast.Literal) else "CHAR"
+        return _cast(value, str(target))
+    handler = _SCALAR_FUNCTIONS.get(name)
+    if handler is None:
+        raise ExecutionError(f"unsupported function {name!r}")
+    args = [evaluate(a, row, params) for a in expr.args]
+    return handler(args)
+
+
+def _cast(value: Any, target: str) -> Any:
+    if value is None:
+        return None
+    target = target.upper()
+    if target in ("INT", "INTEGER", "BIGINT", "SIGNED", "UNSIGNED"):
+        return int(value)
+    if target in ("FLOAT", "DOUBLE", "DECIMAL", "REAL"):
+        return float(value)
+    return str(value)
+
+
+def _as_tvl(value: Any) -> Any:
+    """Normalize a value to True/False/UNKNOWN."""
+    if value is UNKNOWN or value is None:
+        return UNKNOWN
+    return bool(value)
+
+
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    return _like_regex(pattern).match(value) is not None
+
+
+def _compare_values(left: Any, right: Any) -> int:
+    """Three-way compare with numeric/string cross-coercion like MySQL."""
+    if isinstance(left, bool):
+        left = int(left)
+    if isinstance(right, bool):
+        right = int(right)
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        try:
+            right = float(right)
+        except ValueError:
+            left = str(left)
+    elif isinstance(left, str) and isinstance(right, (int, float)):
+        try:
+            left = float(left)
+        except ValueError:
+            right = str(right)
+    if isinstance(left, datetime.datetime) and isinstance(right, str):
+        right = datetime.datetime.fromisoformat(right)
+    elif isinstance(right, datetime.datetime) and isinstance(left, str):
+        left = datetime.datetime.fromisoformat(left)
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def sort_key(value: Any):
+    """A key usable to sort mixed NULL/typed values (NULLs first)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, datetime.datetime):
+        return (2, value.isoformat())
+    return (2, str(value))

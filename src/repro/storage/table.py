@@ -1,0 +1,230 @@
+"""Heap table with primary-key and secondary indexes."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from ..exceptions import DuplicateKeyError, StorageError
+from .index import HashIndex, SortedIndex
+from .schema import TableSchema
+
+
+class Table:
+    """One physical table: row heap + indexes + auto-increment counters.
+
+    Rows live in a dict keyed by an internal row id, so deletes are O(1)
+    and row ids are stable for the undo log. Indexes are maintained on
+    every mutation. All methods assume the caller holds the database's
+    table lock (see :class:`repro.storage.database.Database`).
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        #: serializes the simulated write I/O of this table: concurrent
+        #: writers to one hot table queue up here, which is the physical
+        #: reason sharding a big table into many small ones raises write
+        #: throughput (Table IV of the paper). Readers never take it.
+        self.io_lock = threading.Lock()
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_row_id = 0
+        self._auto_value = 0
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        if schema.primary_key:
+            self._hash_indexes["__pk__"] = HashIndex("__pk__", list(schema.primary_key), unique=True)
+            if len(schema.primary_key) == 1:
+                self._sorted_indexes[schema.primary_key[0].lower()] = SortedIndex(
+                    "__pk_sorted__", schema.primary_key[0]
+                )
+        for col in schema.columns:
+            if col.unique and [col.name] != schema.primary_key:
+                self._hash_indexes[f"__uniq_{col.name}__"] = HashIndex(
+                    f"__uniq_{col.name}__", [col.name], unique=True
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate (row_id, row) pairs; snapshot to tolerate mutation."""
+        return iter(list(self._rows.items()))
+
+    def get(self, row_id: int) -> dict[str, Any]:
+        return self._rows[row_id]
+
+    def indexed_columns(self) -> set[str]:
+        """Columns with an equality index available (lower-cased)."""
+        cols: set[str] = set()
+        for index in self._hash_indexes.values():
+            if len(index.columns) == 1:
+                cols.add(index.columns[0].lower())
+        return cols
+
+    def range_indexed_columns(self) -> set[str]:
+        return set(self._sorted_indexes)
+
+    # ------------------------------------------------------------------
+    # Index lookups (used by the query executor)
+    # ------------------------------------------------------------------
+
+    def find_equal(self, column: str, value: Any) -> list[int] | None:
+        """Row ids where column == value via an index, or None if no index."""
+        lower = column.lower()
+        for index in self._hash_indexes.values():
+            if len(index.columns) == 1 and index.columns[0].lower() == lower:
+                if len(index.columns) == 1:
+                    return sorted(index.lookup(value))
+        sorted_index = self._sorted_indexes.get(lower)
+        if sorted_index is not None:
+            return list(sorted_index.range(value, value))
+        return None
+
+    def find_by_equalities(self, equalities: dict[str, Any]) -> list[int] | None:
+        """Row ids via the most specific hash index fully covered by the
+        given equality predicates (lower-cased column -> value), e.g. a
+        composite primary key (w_id, d_id, o_id). None if no index fits.
+        """
+        best: tuple[int, list[int]] | None = None
+        for index in self._hash_indexes.values():
+            columns = [c.lower() for c in index.columns]
+            if all(c in equalities for c in columns):
+                ids = sorted(index.lookup_values(equalities))
+                if best is None or len(columns) > best[0]:
+                    best = (len(columns), ids)
+        return best[1] if best else None
+
+    def find_range(self, column: str, low: Any, high: Any,
+                   include_low: bool = True, include_high: bool = True) -> list[int] | None:
+        sorted_index = self._sorted_indexes.get(column.lower())
+        if sorted_index is None:
+            return None
+        return list(sorted_index.range(low, high, include_low, include_high))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Insert a row; returns (row_id, normalized_row)."""
+        row = self.schema.normalize_row(values)
+        for col in self.schema.columns:
+            if col.auto_increment and row.get(col.name) is None:
+                self._auto_value += 1
+                row[col.name] = self._auto_value
+            elif col.auto_increment and isinstance(row.get(col.name), int):
+                self._auto_value = max(self._auto_value, row[col.name])
+        row_id = self._next_row_id
+        self._index_insert(row_id, row)
+        self._rows[row_id] = row
+        self._next_row_id += 1
+        return row_id, row
+
+    def delete(self, row_id: int) -> dict[str, Any]:
+        """Delete by row id; returns the removed row (for the undo log)."""
+        try:
+            row = self._rows.pop(row_id)
+        except KeyError:
+            raise StorageError(f"row {row_id} not found in table {self.name}") from None
+        self._index_remove(row_id, row)
+        return row
+
+    def update(self, row_id: int, changes: dict[str, Any]) -> dict[str, Any]:
+        """Apply column changes; returns the previous row (for undo)."""
+        old_row = self._rows[row_id]
+        new_row = dict(old_row)
+        for column, value in changes.items():
+            col = self.schema.column(column)
+            new_row[col.name] = col.type.coerce(value)
+        self._index_remove(row_id, old_row)
+        try:
+            self._index_insert(row_id, new_row)
+        except DuplicateKeyError:
+            self._index_insert(row_id, old_row)  # restore
+            raise
+        self._rows[row_id] = new_row
+        return old_row
+
+    def truncate(self) -> int:
+        """Remove all rows; returns how many were removed."""
+        count = len(self._rows)
+        self._rows.clear()
+        for index in self._hash_indexes.values():
+            index._map.clear()
+        for index in self._sorted_indexes.values():
+            index._keys.clear()
+            index._row_ids.clear()
+        return count
+
+    # -- undo-log cooperation (raw operations bypass constraints) --------
+
+    def raw_reinsert(self, row_id: int, row: dict[str, Any]) -> None:
+        """Re-insert a previously deleted row under its old id (rollback)."""
+        self._index_insert(row_id, row)
+        self._rows[row_id] = row
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+
+    def raw_remove(self, row_id: int) -> None:
+        """Remove a row inserted by a rolled-back transaction."""
+        row = self._rows.pop(row_id, None)
+        if row is not None:
+            self._index_remove(row_id, row)
+
+    def raw_restore(self, row_id: int, row: dict[str, Any]) -> None:
+        """Restore a row image overwritten by a rolled-back update."""
+        current = self._rows.get(row_id)
+        if current is not None:
+            self._index_remove(row_id, current)
+        self._index_insert(row_id, row)
+        self._rows[row_id] = row
+
+    # ------------------------------------------------------------------
+    # Secondary index DDL
+    # ------------------------------------------------------------------
+
+    def create_index(self, name: str, columns: list[str], unique: bool = False) -> None:
+        for col in columns:
+            self.schema.column(col)  # validates existence
+        if name in self._hash_indexes:
+            raise StorageError(f"index {name!r} already exists on {self.name}")
+        index = HashIndex(name, columns, unique=unique)
+        for row_id, row in self._rows.items():
+            index.insert(row_id, row)
+        self._hash_indexes[name] = index
+        if len(columns) == 1 and columns[0].lower() not in self._sorted_indexes:
+            sorted_index = SortedIndex(name + "_sorted", columns[0], unique=False)
+            for row_id, row in self._rows.items():
+                sorted_index.insert(row_id, row)
+            self._sorted_indexes[columns[0].lower()] = sorted_index
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _index_insert(self, row_id: int, row: dict[str, Any]) -> None:
+        inserted: list[HashIndex] = []
+        try:
+            for index in self._hash_indexes.values():
+                index.insert(row_id, row)
+                inserted.append(index)
+        except DuplicateKeyError:
+            for index in inserted:
+                index.remove(row_id, row)
+            raise
+        for sorted_index in self._sorted_indexes.values():
+            sorted_index.insert(row_id, row)
+
+    def _index_remove(self, row_id: int, row: dict[str, Any]) -> None:
+        for index in self._hash_indexes.values():
+            index.remove(row_id, row)
+        for sorted_index in self._sorted_indexes.values():
+            sorted_index.remove(row_id, row)

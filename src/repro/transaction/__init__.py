@@ -1,0 +1,26 @@
+"""Distributed transactions: LOCAL (1PC), XA (2PC + recovery), BASE (Seata-AT)."""
+
+from .base import DistributedTransaction, TransactionType, new_xid
+from .local import LocalTransaction
+from .manager import TransactionManager
+from .seata import (
+    GlobalStatus,
+    SeataTransaction,
+    TransactionCoordinator,
+)
+from .xa import XAState, XATransaction, XATransactionLog, recover
+
+__all__ = [
+    "TransactionType",
+    "DistributedTransaction",
+    "new_xid",
+    "LocalTransaction",
+    "XATransaction",
+    "XATransactionLog",
+    "XAState",
+    "recover",
+    "SeataTransaction",
+    "TransactionCoordinator",
+    "GlobalStatus",
+    "TransactionManager",
+]

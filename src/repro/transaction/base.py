@@ -1,0 +1,101 @@
+"""Distributed transaction abstractions (Section IV-B).
+
+A :class:`DistributedTransaction` pins one connection per participating
+data source for the lifetime of the transaction (statements of a
+transaction must all flow through the same session on each shard). The
+three concrete protocols — LOCAL (1PC), XA (2PC) and BASE (Seata-AT) —
+differ only in how ``commit``/``rollback`` drive those pinned connections.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+import uuid
+from typing import TYPE_CHECKING, Mapping
+
+from ..exceptions import TransactionError
+from ..storage import Connection, DataSource
+
+
+class TransactionType(enum.Enum):
+    """The three distributed transaction types ShardingSphere provides."""
+
+    LOCAL = "LOCAL"
+    XA = "XA"
+    BASE = "BASE"
+
+    @classmethod
+    def of(cls, name: str) -> "TransactionType":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise TransactionError(
+                f"unknown transaction type {name!r}; expected LOCAL, XA or BASE"
+            ) from None
+
+
+_xid_counter = itertools.count(1)
+
+
+def new_xid(prefix: str = "ss") -> str:
+    """Globally unique transaction id."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}-{next(_xid_counter)}"
+
+
+class DistributedTransaction(abc.ABC):
+    """One open distributed transaction across the fleet."""
+
+    type: TransactionType
+
+    def __init__(self, data_sources: Mapping[str, DataSource]):
+        self.data_sources = dict(data_sources)
+        self.xid = new_xid()
+        self.connections: dict[str, Connection] = {}
+        self._finished = False
+
+    # -- participant management ------------------------------------------
+
+    def connection_for(self, ds_name: str) -> Connection:
+        """Pin (lazily) the transaction's connection to one data source."""
+        self._check_active()
+        connection = self.connections.get(ds_name)
+        if connection is None:
+            source = self.data_sources[ds_name]
+            connection = source.pool.acquire()
+            connection.begin()
+            self.connections[ds_name] = connection
+            self.on_branch_started(ds_name, connection)
+        return connection
+
+    def on_branch_started(self, ds_name: str, connection: Connection) -> None:
+        """Hook: a new participant joined (BASE registers branches here)."""
+
+    @property
+    def participants(self) -> list[str]:
+        return sorted(self.connections)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _check_active(self) -> None:
+        if self._finished:
+            raise TransactionError(f"transaction {self.xid} already finished")
+
+    # -- completion --------------------------------------------------------
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Run the protocol's commit; must release all pinned connections."""
+
+    @abc.abstractmethod
+    def rollback(self) -> None:
+        """Run the protocol's rollback; must release all pinned connections."""
+
+    def _release_all(self) -> None:
+        self._finished = True
+        for ds_name, connection in self.connections.items():
+            self.data_sources[ds_name].pool.release(connection)
+        self.connections = {}

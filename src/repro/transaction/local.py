@@ -1,0 +1,36 @@
+"""LOCAL transactions: 1-phase commit (Fig. 5(d) of the paper).
+
+The commit/rollback command is forwarded to every participant directly,
+with no prepare phase. Per the paper: "Even if some data source commits
+fail, ShardingSphere will ignore it" — best-effort, fastest, weakest.
+"""
+
+from __future__ import annotations
+
+from .base import DistributedTransaction, TransactionType
+
+
+class LocalTransaction(DistributedTransaction):
+    """Fan-out 1PC across all pinned connections."""
+
+    type = TransactionType.LOCAL
+
+    def commit(self) -> None:
+        self._check_active()
+        failures = []
+        for connection in self.connections.values():
+            try:
+                connection.commit()
+            except Exception as exc:  # best effort: ignore per the paper
+                failures.append(exc)
+        self.failures = failures
+        self._release_all()
+
+    def rollback(self) -> None:
+        self._check_active()
+        for connection in self.connections.values():
+            try:
+                connection.rollback()
+            except Exception:
+                pass
+        self._release_all()

@@ -1,0 +1,186 @@
+"""XA transactions: 2-phase commit with logging and recovery (Fig. 5(c)).
+
+Phase 1 sends *prepare* to every resource manager (data source); any "NO"
+rolls back everything. Phase 2 commits the prepared branches. The
+coordinator writes a :class:`XATransactionLog` record before each phase —
+if some branch commits fail after a successful phase 1 (server down,
+network jitter), the decision survives and :func:`recover` re-commits the
+in-doubt branches later, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..exceptions import XATransactionError
+from ..storage import DataSource
+from .base import DistributedTransaction, TransactionType
+
+
+class XAState(enum.Enum):
+    ACTIVE = "active"
+    PREPARING = "preparing"
+    PREPARED = "prepared"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class XALogRecord:
+    """Durable record of one global transaction's progress."""
+
+    xid: str
+    participants: list[str] = field(default_factory=list)
+    state: XAState = XAState.ACTIVE
+    #: participants whose phase-2 commit is still pending
+    pending: list[str] = field(default_factory=list)
+
+
+class XATransactionLog:
+    """Coordinator log (the paper's "record logs" before 2PC).
+
+    In-memory but shared: create one per deployment and pass it to every
+    manager; recovery reads it after a simulated coordinator restart.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, XALogRecord] = {}
+        self._lock = threading.Lock()
+
+    def put(self, record: XALogRecord) -> None:
+        with self._lock:
+            self._records[record.xid] = record
+
+    def update(self, xid: str, state: XAState, pending: list[str] | None = None) -> None:
+        with self._lock:
+            record = self._records[xid]
+            record.state = state
+            if pending is not None:
+                record.pending = list(pending)
+
+    def remove(self, xid: str) -> None:
+        with self._lock:
+            self._records.pop(xid, None)
+
+    def get(self, xid: str) -> XALogRecord | None:
+        with self._lock:
+            return self._records.get(xid)
+
+    def in_doubt(self) -> list[XALogRecord]:
+        """Transactions whose outcome was decided but not fully applied."""
+        with self._lock:
+            return [
+                XALogRecord(r.xid, list(r.participants), r.state, list(r.pending))
+                for r in self._records.values()
+                if r.state in (XAState.COMMITTING, XAState.PREPARED)
+            ]
+
+
+class XATransaction(DistributedTransaction):
+    """One global XA transaction driven through 2PC."""
+
+    type = TransactionType.XA
+
+    def __init__(self, data_sources: Mapping[str, DataSource], log: XATransactionLog | None = None):
+        super().__init__(data_sources)
+        self.log = log if log is not None else XATransactionLog()
+        self.log.put(XALogRecord(xid=self.xid))
+
+    def _branch_xid(self, ds_name: str) -> str:
+        return f"{self.xid}:{ds_name}"
+
+    def commit(self) -> None:
+        self._check_active()
+        participants = self.participants
+        self.log.put(XALogRecord(self.xid, participants, XAState.PREPARING, []))
+
+        # ---- Phase 1: prepare ------------------------------------------------
+        prepared: list[str] = []
+        for ds_name in participants:
+            connection = self.connections[ds_name]
+            try:
+                connection.xa_prepare(self._branch_xid(ds_name))
+                prepared.append(ds_name)
+            except Exception as exc:
+                # Some RM answered "NO": roll everything back.
+                self._rollback_after_failed_prepare(prepared, ds_name)
+                raise XATransactionError(
+                    f"prepare failed on {ds_name!r}: {exc}"
+                ) from exc
+        self.log.update(self.xid, XAState.PREPARED, pending=participants)
+
+        # ---- Phase 2: commit -------------------------------------------------
+        self.log.update(self.xid, XAState.COMMITTING, pending=participants)
+        still_pending: list[str] = []
+        errors: list[Exception] = []
+        for ds_name in participants:
+            connection = self.connections[ds_name]
+            try:
+                connection.xa_commit(self._branch_xid(ds_name))
+            except Exception as exc:
+                # Decision stands: keep the branch pending for recovery.
+                still_pending.append(ds_name)
+                errors.append(exc)
+        if still_pending:
+            self.log.update(self.xid, XAState.COMMITTING, pending=still_pending)
+            self._release_all()
+            raise XATransactionError(
+                f"commit incomplete on {still_pending}; will be recovered"
+            ) from errors[0]
+        self.log.update(self.xid, XAState.COMMITTED, pending=[])
+        self.log.remove(self.xid)
+        self._release_all()
+
+    def _rollback_after_failed_prepare(self, prepared: list[str], failed: str) -> None:
+        for ds_name in prepared:
+            try:
+                self.connections[ds_name].xa_rollback(self._branch_xid(ds_name))
+            except Exception:
+                pass
+        for ds_name, connection in self.connections.items():
+            if ds_name not in prepared:
+                try:
+                    connection.rollback()
+                except Exception:
+                    pass
+        self.log.update(self.xid, XAState.ABORTED, pending=[])
+        self.log.remove(self.xid)
+        self._release_all()
+
+    def rollback(self) -> None:
+        self._check_active()
+        for connection in self.connections.values():
+            try:
+                connection.rollback()
+            except Exception:
+                pass
+        self.log.update(self.xid, XAState.ABORTED, pending=[])
+        self.log.remove(self.xid)
+        self._release_all()
+
+
+def recover(log: XATransactionLog, data_sources: Mapping[str, DataSource]) -> int:
+    """Finish in-doubt transactions after a coordinator restart.
+
+    PREPARED / COMMITTING records mean phase 1 fully succeeded, so the
+    decision is COMMIT: re-commit every pending branch (idempotent — a
+    branch whose prepared transaction is gone was already committed).
+    Returns the number of transactions completed.
+    """
+    recovered = 0
+    for record in log.in_doubt():
+        for ds_name in (record.pending or record.participants):
+            source = data_sources.get(ds_name)
+            if source is None:
+                continue
+            from ..storage import commit_prepared
+
+            commit_prepared(source.database, f"{record.xid}:{ds_name}")
+        log.update(record.xid, XAState.COMMITTED, pending=[])
+        log.remove(record.xid)
+        recovered += 1
+    return recovered

@@ -1,0 +1,306 @@
+"""Tests for DistSQL: RDL / RQL / RAL parsing and execution."""
+
+import pytest
+
+from repro.adaptors import ShardingRuntime
+from repro.distsql import execute_distsql, is_distsql, parse_distsql
+from repro.distsql.parser import (
+    CreateBindingRule,
+    CreateShardingTableRule,
+    Preview,
+    RegisterResource,
+    SetVariable,
+)
+from repro.exceptions import DistSQLError
+
+
+@pytest.fixture
+def runtime():
+    rt = ShardingRuntime()
+    yield rt
+    rt.close()
+
+
+@pytest.fixture
+def configured(runtime):
+    execute_distsql("REGISTER RESOURCE ds0, ds1", runtime)
+    execute_distsql(
+        "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds0, ds1), "
+        "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES('sharding-count'=2))",
+        runtime,
+    )
+    return runtime
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "REGISTER RESOURCE ds0",
+            "create sharding table rule x (RESOURCES(a), SHARDING_COLUMN=c)",
+            "SHOW SHARDING TABLE RULES",
+            "SET VARIABLE transaction_type = XA",
+            "PREVIEW SELECT 1",
+        ],
+    )
+    def test_distsql_detected(self, sql):
+        assert is_distsql(sql)
+
+    @pytest.mark.parametrize(
+        "sql",
+        ["SELECT * FROM t", "INSERT INTO t VALUES (1)", "SHOW TABLES", "CREATE TABLE t (a INT)"],
+    )
+    def test_plain_sql_not_detected(self, sql):
+        assert not is_distsql(sql)
+
+
+class TestParser:
+    def test_register_with_properties(self):
+        stmt = parse_distsql("REGISTER RESOURCE ds0 (PROPERTIES('dialect'='PostgreSQL'))")
+        assert isinstance(stmt, RegisterResource)
+        assert stmt.resources == [("ds0", {"dialect": "PostgreSQL"})]
+
+    def test_paper_example_create_rule(self):
+        """The exact RDL statement shown in Section V-A of the paper."""
+        stmt = parse_distsql(
+            "CREATE SHARDING TABLE RULE t_user_h (RESOURCES(ds0, ds1), "
+            "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES('sharding-count'=2))"
+        )
+        assert isinstance(stmt, CreateShardingTableRule)
+        assert stmt.table == "t_user_h"
+        assert stmt.resources == ["ds0", "ds1"]
+        assert stmt.sharding_column == "uid"
+        assert stmt.algorithm_type == "HASH_MOD"
+        assert stmt.properties == {"sharding-count": 2}
+
+    def test_alter_flag(self):
+        stmt = parse_distsql(
+            "ALTER SHARDING TABLE RULE t (RESOURCES(ds0), SHARDING_COLUMN=c, "
+            "PROPERTIES('sharding-count'=1))"
+        )
+        assert stmt.alter
+
+    def test_binding_rule(self):
+        stmt = parse_distsql("CREATE SHARDING BINDING TABLE RULES (t_user, t_order)")
+        assert isinstance(stmt, CreateBindingRule)
+        assert stmt.tables == ["t_user", "t_order"]
+
+    def test_set_variable(self):
+        stmt = parse_distsql("SET VARIABLE transaction_type = XA")
+        assert isinstance(stmt, SetVariable)
+        assert stmt.value == "XA"
+
+    def test_preview_wraps_sql(self):
+        stmt = parse_distsql("PREVIEW SELECT * FROM t WHERE a = 1")
+        assert isinstance(stmt, Preview)
+        assert stmt.sql == "SELECT * FROM t WHERE a = 1"
+
+    def test_rule_requires_resources(self):
+        with pytest.raises(DistSQLError):
+            parse_distsql("CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=c)")
+
+    def test_rule_requires_column(self):
+        with pytest.raises(DistSQLError):
+            parse_distsql("CREATE SHARDING TABLE RULE t (RESOURCES(ds0))")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DistSQLError):
+            parse_distsql("SHOW NONSENSE THINGS")
+
+
+class TestRDLExecution:
+    def test_register_creates_data_sources(self, runtime):
+        result = execute_distsql("REGISTER RESOURCE ds0, ds1", runtime)
+        assert "2 resource" in result.message
+        assert set(runtime.data_sources) == {"ds0", "ds1"}
+
+    def test_register_duplicate_rejected(self, runtime):
+        execute_distsql("REGISTER RESOURCE ds0", runtime)
+        with pytest.raises(DistSQLError):
+            execute_distsql("REGISTER RESOURCE ds0", runtime)
+
+    def test_register_with_dialect(self, runtime):
+        execute_distsql("REGISTER RESOURCE pg (PROPERTIES('dialect'='PostgreSQL'))", runtime)
+        assert runtime.data_sources["pg"].dialect.name == "PostgreSQL"
+
+    def test_unregister(self, runtime):
+        execute_distsql("REGISTER RESOURCE ds0", runtime)
+        execute_distsql("UNREGISTER RESOURCE ds0", runtime)
+        assert runtime.data_sources == {}
+
+    def test_unregister_in_use_rejected(self, configured):
+        with pytest.raises(DistSQLError):
+            execute_distsql("UNREGISTER RESOURCE ds0", configured)
+
+    def test_create_rule_unknown_resource_rejected(self, runtime):
+        with pytest.raises(DistSQLError):
+            execute_distsql(
+                "CREATE SHARDING TABLE RULE t (RESOURCES(nope), SHARDING_COLUMN=c, "
+                "PROPERTIES('sharding-count'=1))",
+                runtime,
+            )
+
+    def test_autotable_flow_creates_physical_tables(self, configured):
+        """Rule first, then a logical CREATE TABLE materializes the shards."""
+        configured.engine.execute("CREATE TABLE t_user (uid INT PRIMARY KEY, v INT)")
+        assert configured.data_sources["ds0"].database.has_table("t_user_0")
+        assert configured.data_sources["ds1"].database.has_table("t_user_1")
+
+    def test_create_duplicate_rule_needs_alter(self, configured):
+        with pytest.raises(DistSQLError):
+            execute_distsql(
+                "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds0), SHARDING_COLUMN=uid, "
+                "PROPERTIES('sharding-count'=1))",
+                configured,
+            )
+        result = execute_distsql(
+            "ALTER SHARDING TABLE RULE t_user (RESOURCES(ds0), SHARDING_COLUMN=uid, "
+            "PROPERTIES('sharding-count'=1))",
+            configured,
+        )
+        assert "altered" in result.message
+
+    def test_alter_missing_rule_rejected(self, configured):
+        with pytest.raises(DistSQLError):
+            execute_distsql(
+                "ALTER SHARDING TABLE RULE ghost (RESOURCES(ds0), SHARDING_COLUMN=c, "
+                "PROPERTIES('sharding-count'=1))",
+                configured,
+            )
+
+    def test_drop_rule(self, configured):
+        execute_distsql("DROP SHARDING TABLE RULE t_user", configured)
+        assert not configured.rule.is_sharded("t_user")
+
+    def test_binding_rules(self, configured):
+        execute_distsql(
+            "CREATE SHARDING TABLE RULE t_order (RESOURCES(ds0, ds1), "
+            "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES('sharding-count'=2))",
+            configured,
+        )
+        execute_distsql("CREATE SHARDING BINDING TABLE RULES (t_user, t_order)", configured)
+        assert configured.rule.are_binding(["t_user", "t_order"])
+
+    def test_broadcast_rule(self, configured):
+        execute_distsql("CREATE BROADCAST TABLE RULE t_dict", configured)
+        assert configured.rule.is_broadcast("t_dict")
+
+    def test_rwsplit_rule_adds_feature(self, configured):
+        execute_distsql("REGISTER RESOURCE replica0", configured)
+        execute_distsql(
+            "CREATE READWRITE_SPLITTING RULE g0 (PRIMARY=ds0, REPLICAS(replica0))", configured
+        )
+        assert configured._rwsplit_feature is not None
+        assert configured._rwsplit_feature.groups["ds0"].replicas == ["replica0"]
+
+    def test_rules_persisted_in_governor(self, configured):
+        stored = configured.config_center.load_rule("sharding", "t_user")
+        assert stored["sharding_column"] == "uid"
+
+
+class TestRQLExecution:
+    def test_show_resources(self, configured):
+        result = execute_distsql("SHOW RESOURCES", configured)
+        assert result.columns == ["name", "dialect", "database"]
+        assert [r[0] for r in result.rows] == ["ds0", "ds1"]
+
+    def test_show_sharding_rules(self, configured):
+        result = execute_distsql("SHOW SHARDING TABLE RULES", configured)
+        assert result.rows[0][0] == "t_user"
+        assert "ds0.t_user_0" in result.rows[0][1]
+
+    def test_show_algorithms_lists_ten_presets(self, configured):
+        result = execute_distsql("SHOW SHARDING ALGORITHMS", configured)
+        assert len(result.rows) >= 10
+
+    def test_show_binding_and_broadcast(self, configured):
+        execute_distsql("CREATE BROADCAST TABLE RULE t_dict", configured)
+        result = execute_distsql("SHOW BROADCAST TABLE RULES", configured)
+        assert result.rows == [("t_dict",)]
+
+
+class TestRALExecution:
+    def test_set_transaction_type_paper_example(self, configured):
+        """'SET VARIABLE transaction_type = <type>' from Section V-A."""
+        for type_name in ("LOCAL", "XA", "BASE"):
+            execute_distsql(f"SET VARIABLE transaction_type = {type_name}", configured)
+            assert configured.variables["transaction_type"] == type_name
+            assert configured.transaction_manager.transaction_type.value == type_name
+
+    def test_set_max_connections(self, configured):
+        execute_distsql("SET VARIABLE max_connections_per_query = 5", configured)
+        assert configured.engine.executor.max_connections_per_query == 5
+
+    def test_unknown_variable_rejected(self, configured):
+        with pytest.raises(DistSQLError):
+            execute_distsql("SET VARIABLE nope = 1", configured)
+
+    def test_show_variable(self, configured):
+        execute_distsql("SET VARIABLE transaction_type = XA", configured)
+        result = execute_distsql("SHOW VARIABLE transaction_type", configured)
+        assert result.rows == [("transaction_type", "XA")]
+
+    def test_preview_shows_routed_sql(self, configured):
+        configured.engine.execute("CREATE TABLE t_user (uid INT PRIMARY KEY, v INT)")
+        result = execute_distsql("PREVIEW SELECT * FROM t_user WHERE uid = 0", configured)
+        assert len(result.rows) == 1
+        ds, sql = result.rows[0]
+        assert sql == "SELECT * FROM t_user_0 WHERE uid = 0"
+
+
+class TestMigrateTable:
+    """RAL scaling: MIGRATE TABLE reshards online through a ScalingJob."""
+
+    @pytest.fixture
+    def loaded(self, configured):
+        configured.engine.execute("CREATE TABLE t_user (uid INT PRIMARY KEY, v INT)")
+        for i in range(40):
+            configured.engine.execute(f"INSERT INTO t_user (uid, v) VALUES ({i}, {i})")
+        return configured
+
+    def test_parse(self):
+        from repro.distsql.parser import MigrateTable
+
+        stmt = parse_distsql(
+            "MIGRATE TABLE t_user (RESOURCES(ds2, ds3), SHARDING_COLUMN=uid, "
+            "TYPE=hash_mod, PROPERTIES('sharding-count'=8))"
+        )
+        assert isinstance(stmt, MigrateTable)
+        assert stmt.resources == ["ds2", "ds3"]
+        assert stmt.properties == {"sharding-count": 8}
+
+    def test_detected_as_distsql(self):
+        assert is_distsql("MIGRATE TABLE t (RESOURCES(a), SHARDING_COLUMN=k)")
+
+    def test_migrate_to_more_shards(self, loaded):
+        execute_distsql("REGISTER RESOURCE ds2, ds3", loaded)
+        result = execute_distsql(
+            "MIGRATE TABLE t_user (RESOURCES(ds0, ds1, ds2, ds3), "
+            "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES('sharding-count'=8))",
+            loaded,
+        )
+        assert result.rows[0][1] == 40  # rows migrated
+        assert result.rows[0][4] is True  # consistent
+        # logical view intact on the new layout
+        assert loaded.engine.execute("SELECT COUNT(*) FROM t_user").fetchall() == [(40,)]
+        assert loaded.engine.execute("SELECT v FROM t_user WHERE uid = 17").fetchall() == [(17,)]
+        # new layout has 8 nodes over 4 sources
+        assert len(loaded.rule.table_rule("t_user").data_nodes) == 8
+        # old physical tables are gone
+        assert not loaded.data_sources["ds0"].database.has_table("t_user_0")
+
+    def test_migrate_unknown_table_rejected(self, configured):
+        with pytest.raises(DistSQLError):
+            execute_distsql(
+                "MIGRATE TABLE ghost (RESOURCES(ds0), SHARDING_COLUMN=k, "
+                "PROPERTIES('sharding-count'=1))",
+                configured,
+            )
+
+    def test_migrate_unknown_resource_rejected(self, loaded):
+        with pytest.raises(DistSQLError):
+            execute_distsql(
+                "MIGRATE TABLE t_user (RESOURCES(nowhere), SHARDING_COLUMN=uid, "
+                "PROPERTIES('sharding-count'=2))",
+                loaded,
+            )

@@ -1,0 +1,143 @@
+"""Unit tests for statement-context extraction (sharding conditions)."""
+
+import pytest
+
+from repro.engine import build_context
+from repro.exceptions import RouteError
+from repro.sql import parse
+
+
+def ctx(sql, rule, params=()):
+    return build_context(parse(sql), sql, params, rule)
+
+
+class TestWhereExtraction:
+    def test_equality(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid = 5", paper_rule)
+        condition = context.conditions_for("t_user")["uid"]
+        assert condition.values == [5]
+
+    def test_in(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid IN (1, 2, 3)", paper_rule)
+        assert context.conditions_for("t_user")["uid"].values == [1, 2, 3]
+
+    def test_between(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid BETWEEN 2 AND 9", paper_rule)
+        assert context.conditions_for("t_user")["uid"].range_ == (2, 9)
+
+    def test_half_open_comparison(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid >= 7", paper_rule)
+        assert context.conditions_for("t_user")["uid"].range_ == (7, None)
+
+    def test_reversed_comparison(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE 7 > uid", paper_rule)
+        assert context.conditions_for("t_user")["uid"].range_ == (None, 7)
+
+    def test_placeholder_value(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid = ?", paper_rule, params=(9,))
+        assert context.conditions_for("t_user")["uid"].values == [9]
+
+    def test_qualified_by_alias(self, paper_rule):
+        context = ctx("SELECT * FROM t_user u WHERE u.uid = 2", paper_rule)
+        assert context.conditions_for("t_user")["uid"].values == [2]
+
+    def test_non_sharding_column_ignored(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE age = 30", paper_rule)
+        assert context.conditions_for("t_user") == {}
+
+    def test_or_disjunction_not_extracted(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid = 1 OR age = 5", paper_rule)
+        assert context.conditions_for("t_user") == {}
+
+    def test_and_intersects_conditions(self, paper_rule):
+        context = ctx(
+            "SELECT * FROM t_user WHERE uid IN (1, 2, 3) AND uid IN (2, 3, 4)", paper_rule
+        )
+        assert context.conditions_for("t_user")["uid"].values == [2, 3]
+
+    def test_unsharded_table_no_conditions(self, paper_rule):
+        context = ctx("SELECT * FROM t_dict WHERE k = 'a'", paper_rule)
+        assert context.conditions_for("t_dict") == {}
+
+    def test_negated_in_ignored(self, paper_rule):
+        context = ctx("SELECT * FROM t_user WHERE uid NOT IN (1)", paper_rule)
+        assert context.conditions_for("t_user") == {}
+
+    def test_join_condition_equality_noted_per_table(self, paper_rule):
+        context = ctx(
+            "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE u.uid = 1",
+            paper_rule,
+        )
+        assert context.conditions_for("t_user")["uid"].values == [1]
+
+    def test_alias_map(self, paper_rule):
+        context = ctx("SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid", paper_rule)
+        assert context.alias_map == {"u": "t_user", "o": "t_order"}
+
+
+class TestInsertExtraction:
+    def test_per_row_conditions(self, paper_rule):
+        context = ctx(
+            "INSERT INTO t_user (uid, name) VALUES (1, 'a'), (2, 'b')", paper_rule
+        )
+        assert len(context.insert_row_conditions) == 2
+        assert context.insert_row_conditions[0]["uid"].values == [1]
+        assert context.insert_row_conditions[1]["uid"].values == [2]
+
+    def test_missing_sharding_column_raises(self, paper_rule):
+        with pytest.raises(RouteError):
+            ctx("INSERT INTO t_user (name) VALUES ('a')", paper_rule)
+
+    def test_placeholder_values(self, paper_rule):
+        context = ctx(
+            "INSERT INTO t_user (uid, name) VALUES (?, ?)", paper_rule, params=(8, "x")
+        )
+        assert context.insert_row_conditions[0]["uid"].values == [8]
+
+    def test_unbound_placeholder_raises(self, paper_rule):
+        with pytest.raises(RouteError):
+            ctx("INSERT INTO t_user (uid, name) VALUES (?, ?)", paper_rule)
+
+    def test_unsharded_insert_no_conditions(self, paper_rule):
+        context = ctx("INSERT INTO t_dict (k, v) VALUES ('a', 'b')", paper_rule)
+        assert context.insert_row_conditions == []
+
+
+class TestKeyGeneration:
+    def test_keys_generated_when_column_missing(self, fleet):
+        from repro.sharding import ShardingRule, build_auto_table_rule
+
+        rule_obj = build_auto_table_rule(
+            "t_auto", ["ds0", "ds1"], sharding_column="id",
+            properties={"sharding-count": 2},
+            key_generate_column="id",
+        )
+        rule = ShardingRule([rule_obj], default_data_source="ds0")
+        context = ctx("INSERT INTO t_auto (v) VALUES ('x'), ('y')", rule)
+        assert context.generated_keys is not None
+        column, keys = context.generated_keys
+        assert column == "id"
+        assert len(keys) == 2 and keys[0] != keys[1]
+        # generated keys became routable conditions
+        assert len(context.insert_row_conditions) == 2
+
+    def test_no_generation_when_supplied(self, fleet):
+        from repro.sharding import ShardingRule, build_auto_table_rule
+
+        rule_obj = build_auto_table_rule(
+            "t_auto", ["ds0"], sharding_column="id",
+            properties={"sharding-count": 1},
+            key_generate_column="id",
+        )
+        rule = ShardingRule([rule_obj])
+        context = ctx("INSERT INTO t_auto (id, v) VALUES (5, 'x')", rule)
+        assert context.generated_keys is None
+
+
+class TestHints:
+    def test_hint_values_merge_into_conditions(self, paper_rule):
+        from repro.sharding import HINT_COLUMN
+
+        statement = parse("SELECT * FROM t_user")
+        context = build_context(statement, "", (), paper_rule, hint_values=[1])
+        assert context.conditions_for("t_user")[HINT_COLUMN].values == [1]

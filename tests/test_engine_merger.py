@@ -1,0 +1,211 @@
+"""Unit tests for the result merger (stream/memory merge strategies)."""
+
+import pytest
+
+from repro.engine import AggregateSpec, MaterializedResult, MergeSpec, merge
+from repro.exceptions import MergeError
+
+
+def shard(columns, rows):
+    return MaterializedResult(columns, [tuple(r) for r in rows])
+
+
+class TestIteration:
+    def test_chains_results(self):
+        spec = MergeSpec(is_query=True)
+        merged = merge(spec, [shard(["a"], [[1], [2]]), shard(["a"], [[3]])])
+        assert merged.merger_kind == "iteration"
+        assert merged.fetchall() == [(1,), (2,), (3,)]
+
+    def test_single_result_passthrough(self):
+        spec = MergeSpec(is_query=True)
+        merged = merge(spec, [shard(["a"], [[1]])])
+        assert merged.merger_kind == "passthrough"
+
+    def test_empty_results(self):
+        assert merge(MergeSpec(is_query=True), []).fetchall() == []
+
+
+class TestOrderByStream:
+    def test_multiway_merge(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, False)])
+        merged = merge(
+            spec,
+            [shard(["v"], [[1], [4], [7]]), shard(["v"], [[2], [5]]), shard(["v"], [[3], [6]])],
+        )
+        assert merged.merger_kind == "order-by-stream"
+        assert [r[0] for r in merged.fetchall()] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_descending(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, True)])
+        merged = merge(spec, [shard(["v"], [[7], [4]]), shard(["v"], [[9], [1]])])
+        assert [r[0] for r in merged.fetchall()] == [9, 7, 4, 1]
+
+    def test_mixed_directions(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, False), (1, True)])
+        merged = merge(
+            spec,
+            [shard(["a", "b"], [[1, 5], [2, 1]]), shard(["a", "b"], [[1, 9], [2, 3]])],
+        )
+        assert merged.fetchall() == [(1, 9), (1, 5), (2, 3), (2, 1)]
+
+    def test_key_by_column_name(self):
+        spec = MergeSpec(is_query=True, order_keys=[("v", False)])
+        merged = merge(spec, [shard(["v"], [[2]]), shard(["v"], [[1]])])
+        assert merged.fetchall() == [(1,), (2,)]
+
+    def test_unresolvable_key_raises(self):
+        spec = MergeSpec(is_query=True, order_keys=[("nope", False)])
+        with pytest.raises(MergeError):
+            merge(spec, [shard(["v"], [[1]]), shard(["v"], [[2]])])
+
+    def test_nulls_sort_first(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, False)])
+        merged = merge(spec, [shard(["v"], [[None], [5]]), shard(["v"], [[2]])])
+        assert [r[0] for r in merged.fetchall()] == [None, 2, 5]
+
+
+class TestAggregation:
+    def test_sum_count_min_max(self):
+        spec = MergeSpec(
+            is_query=True,
+            aggregates=[
+                AggregateSpec("COUNT", 0),
+                AggregateSpec("SUM", 1),
+                AggregateSpec("MIN", 2),
+                AggregateSpec("MAX", 3),
+            ],
+        )
+        merged = merge(
+            spec,
+            [shard(["c", "s", "mn", "mx"], [[2, 10, 1, 9]]), shard(["c", "s", "mn", "mx"], [[3, 20, 0, 12]])],
+        )
+        assert merged.fetchall() == [(5, 30, 0, 12)]
+        assert merged.merger_kind == "aggregation"
+
+    def test_avg_from_derived(self):
+        spec = MergeSpec(
+            is_query=True,
+            output_width=1,
+            aggregates=[AggregateSpec("AVG", 0, count_index=1, sum_index=2)],
+        )
+        merged = merge(
+            spec,
+            [
+                shard(["avg", "cnt", "sum"], [[10.0, 2, 20.0]]),
+                shard(["avg", "cnt", "sum"], [[40.0, 1, 40.0]]),
+            ],
+        )
+        # correct global avg is 60/3=20, NOT mean of shard means (25)
+        assert merged.fetchall() == [(20.0,)]
+
+    def test_count_empty_shards_is_zero(self):
+        spec = MergeSpec(is_query=True, aggregates=[AggregateSpec("COUNT", 0)])
+        merged = merge(spec, [shard(["c"], [[0]]), shard(["c"], [[0]])])
+        assert merged.fetchall() == [(0,)]
+
+    def test_null_partials_skipped(self):
+        spec = MergeSpec(is_query=True, aggregates=[AggregateSpec("SUM", 0)])
+        merged = merge(spec, [shard(["s"], [[None]]), shard(["s"], [[7]])])
+        assert merged.fetchall() == [(7,)]
+
+
+class TestGroupBy:
+    def make_spec(self, stream):
+        return MergeSpec(
+            is_query=True,
+            has_group_by=True,
+            group_keys=[0],
+            order_keys=[(0, False)],
+            aggregates=[AggregateSpec("SUM", 1)],
+            group_equals_order=stream,
+        )
+
+    def test_stream_group_merge_paper_example(self):
+        """Fig. 7: per-shard sorted group results fold correctly."""
+        spec = self.make_spec(stream=True)
+        merged = merge(
+            spec,
+            [
+                shard(["name", "s"], [["jerry", 90], ["tom", 85]]),
+                shard(["name", "s"], [["jerry", 88], ["tom", 100]]),
+            ],
+        )
+        assert merged.merger_kind == "group-by-stream"
+        assert merged.fetchall() == [("jerry", 178), ("tom", 185)]
+
+    def test_memory_group_merge(self):
+        spec = self.make_spec(stream=False)
+        merged = merge(
+            spec,
+            [
+                shard(["name", "s"], [["tom", 85], ["jerry", 90]]),
+                shard(["name", "s"], [["jerry", 88]]),
+            ],
+        )
+        assert merged.merger_kind == "group-by-memory"
+        assert merged.fetchall() == [("jerry", 178), ("tom", 85)]
+
+    def test_memory_group_resorts_by_order_keys(self):
+        spec = MergeSpec(
+            is_query=True,
+            has_group_by=True,
+            group_keys=[0],
+            order_keys=[(1, True)],
+            aggregates=[AggregateSpec("SUM", 1)],
+            group_equals_order=False,
+        )
+        merged = merge(
+            spec,
+            [shard(["k", "s"], [["a", 1], ["b", 5]]), shard(["k", "s"], [["a", 2]])],
+        )
+        assert merged.fetchall() == [("b", 5), ("a", 3)]
+
+
+class TestDecorators:
+    def test_distinct(self):
+        spec = MergeSpec(is_query=True, distinct=True)
+        merged = merge(spec, [shard(["v"], [[1], [2]]), shard(["v"], [[2], [3]])])
+        assert sorted(merged.fetchall()) == [(1,), (2,), (3,)]
+
+    def test_pagination(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, False)], limit_count=2, limit_offset=1)
+        merged = merge(spec, [shard(["v"], [[1], [3]]), shard(["v"], [[2], [4]])])
+        assert merged.fetchall() == [(2,), (3,)]
+
+    def test_offset_only(self):
+        spec = MergeSpec(is_query=True, order_keys=[(0, False)], limit_offset=2)
+        merged = merge(spec, [shard(["v"], [[1], [3]]), shard(["v"], [[2]])])
+        assert merged.fetchall() == [(3,)]
+
+    def test_derived_columns_trimmed(self):
+        spec = MergeSpec(is_query=True, output_width=1, order_keys=[(1, False)])
+        merged = merge(
+            spec,
+            [shard(["oid", "ORDER_BY_DERIVED_0"], [[10, 2]]), shard(["oid", "ORDER_BY_DERIVED_0"], [[11, 1]])],
+        )
+        assert merged.columns == ["oid"]
+        assert merged.fetchall() == [(11,), (10,)]
+
+
+class TestDistinctAggregateGuards:
+    def test_count_distinct_across_shards_fails_loudly(self):
+        spec = MergeSpec(
+            is_query=True,
+            aggregates=[AggregateSpec("COUNT", 0, distinct=True)],
+        )
+        with pytest.raises(MergeError, match="DISTINCT"):
+            merge(spec, [shard(["c"], [[2]]), shard(["c"], [[3]])]).fetchall()
+
+    def test_count_distinct_single_shard_passes_through(self, seeded_engine):
+        # routed to one shard: the data source computes it exactly
+        rows = seeded_engine.execute(
+            "SELECT COUNT(DISTINCT amount) FROM t_order WHERE uid = 1"
+        ).fetchall()
+        assert rows == [(2,)]
+
+    def test_min_max_distinct_harmless(self):
+        # MIN/MAX are distinct-insensitive and merge fine
+        spec = MergeSpec(is_query=True, aggregates=[AggregateSpec("MAX", 0, distinct=True)])
+        merged = merge(spec, [shard(["m"], [[2]]), shard(["m"], [[9]])])
+        assert merged.fetchall() == [(9,)]

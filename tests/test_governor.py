@@ -1,0 +1,202 @@
+"""Tests for the Governor: registry, config management, health detection."""
+
+import pytest
+
+from repro.exceptions import BadVersionError, GovernanceError, NodeExistsError, NodeNotFoundError
+from repro.governor import ConfigCenter, HealthDetector, Registry, ReplicaGroup
+from repro.storage import DataSource
+
+
+class TestRegistry:
+    def test_create_and_get(self):
+        reg = Registry()
+        reg.create("/a/b/c", "v")
+        assert reg.get("/a/b/c") == "v"
+        assert reg.exists("/a/b")
+
+    def test_create_duplicate_raises(self):
+        reg = Registry()
+        reg.create("/a", 1)
+        with pytest.raises(NodeExistsError):
+            reg.create("/a", 2)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Registry().get("/nope")
+
+    def test_set_creates_or_updates_with_version(self):
+        reg = Registry()
+        reg.set("/x", 1)
+        _, v0 = reg.get_with_version("/x")
+        v1 = reg.set("/x", 2)
+        assert v1 == v0 + 1
+        assert reg.get("/x") == 2
+
+    def test_optimistic_version_check(self):
+        reg = Registry()
+        reg.set("/x", 1)
+        with pytest.raises(BadVersionError):
+            reg.set("/x", 2, expected_version=99)
+
+    def test_children_sorted(self):
+        reg = Registry()
+        reg.create("/p/b", 1)
+        reg.create("/p/a", 2)
+        assert reg.children("/p") == ["a", "b"]
+
+    def test_delete_subtree(self):
+        reg = Registry()
+        reg.create("/p/a/deep", 1)
+        reg.delete("/p")
+        assert not reg.exists("/p/a/deep")
+
+    def test_data_watch_fires_on_change(self):
+        reg = Registry()
+        events = []
+        reg.set("/w", 1)
+        reg.watch("/w", lambda e, p, v: events.append((e, v)))
+        reg.set("/w", 2)
+        assert events == [("changed", 2)]
+
+    def test_child_watch_fires_on_add_and_remove(self):
+        reg = Registry()
+        events = []
+        reg.create("/parent", None)
+        reg.watch_children("/parent", lambda e, p, v: events.append(v))
+        reg.create("/parent/kid", 1)
+        reg.delete("/parent/kid")
+        assert events == ["kid", "kid"]
+
+    def test_unsubscribe(self):
+        reg = Registry()
+        events = []
+        reg.set("/w", 1)
+        unsub = reg.watch("/w", lambda e, p, v: events.append(v))
+        unsub()
+        reg.set("/w", 2)
+        assert events == []
+
+    def test_ephemeral_nodes_die_with_session(self):
+        reg = Registry()
+        session = reg.session()
+        reg.create("/live/instance-1", "meta", session=session)
+        assert reg.exists("/live/instance-1")
+        session.close()
+        assert not reg.exists("/live/instance-1")
+
+    def test_ephemeral_removal_fires_child_watch(self):
+        reg = Registry()
+        events = []
+        reg.create("/live", None)
+        reg.watch_children("/live", lambda e, p, v: events.append(v))
+        with reg.session() as session:
+            reg.create("/live/i1", None, session=session)
+        assert events == ["i1", "i1"]
+
+    def test_dump(self):
+        reg = Registry()
+        reg.create("/a/b", 1)
+        reg.create("/a/c", 2)
+        assert reg.dump("/a") == {"/a/b": 1, "/a/c": 2}
+
+
+class TestConfigCenter:
+    def test_data_source_roundtrip(self):
+        cc = ConfigCenter()
+        cc.register_data_source("ds0", {"dialect": "MySQL", "host": "h1"})
+        assert cc.data_source_metadata("ds0")["dialect"] == "MySQL"
+        assert cc.data_source_names() == ["ds0"]
+        cc.remove_data_source("ds0")
+        assert cc.data_source_names() == []
+
+    def test_missing_data_source_raises(self):
+        with pytest.raises(GovernanceError):
+            ConfigCenter().data_source_metadata("nope")
+
+    def test_rule_roundtrip(self):
+        cc = ConfigCenter()
+        cc.store_rule("sharding", "t_user", {"column": "uid", "type": "MOD"})
+        assert cc.load_rule("sharding", "t_user")["column"] == "uid"
+        assert cc.rule_names("sharding") == ["t_user"]
+        cc.drop_rule("sharding", "t_user")
+        assert cc.rule_names("sharding") == []
+
+    def test_drop_missing_rule_raises(self):
+        with pytest.raises(GovernanceError):
+            ConfigCenter().drop_rule("sharding", "ghost")
+
+    def test_rule_watch_propagates(self):
+        cc = ConfigCenter()
+        seen = []
+        cc.watch_rules("sharding", lambda e, p, v: seen.append(v))
+        cc.store_rule("sharding", "t_new", {})
+        assert seen == ["t_new"]
+
+    def test_props(self):
+        cc = ConfigCenter()
+        cc.set_prop("max_connections_per_query", 5)
+        assert cc.get_prop("max_connections_per_query") == 5
+        assert cc.get_prop("missing", 1) == 1
+        assert cc.props() == {"max_connections_per_query": 5}
+
+    def test_instance_registration_is_ephemeral(self):
+        cc = ConfigCenter()
+        session = cc.register_instance("proxy-1", {"port": 3307})
+        assert cc.online_instances() == ["proxy-1"]
+        session.close()
+        assert cc.online_instances() == []
+
+
+class TestHealthDetector:
+    def make(self, groups=None):
+        sources = {name: DataSource(name) for name in ("p0", "r0", "r1")}
+        for ds in sources.values():
+            ds.execute("CREATE TABLE t (a INT)")
+        cc = ConfigCenter()
+        detector = HealthDetector(sources, cc, groups=groups, interval=0.01)
+        return sources, cc, detector
+
+    def test_all_healthy(self):
+        sources, cc, detector = self.make()
+        statuses = detector.check_once()
+        assert all(statuses.values())
+        assert cc.get_status("datasource/p0") == "UP"
+
+    def test_failure_marks_down(self):
+        sources, cc, detector = self.make()
+        sources["r0"].database.fail_next("statement", times=100)
+        statuses = detector.check_once()
+        assert statuses["r0"] is False
+        assert cc.get_status("datasource/r0") == "DOWN"
+        assert not detector.is_up("r0")
+
+    def test_primary_failover_promotes_replica(self):
+        group = ReplicaGroup("g0", primary="p0", replicas=["r0", "r1"])
+        sources, cc, detector = self.make(groups=[group])
+        promoted = []
+        detector.add_failover_listener(lambda g, old, new: promoted.append((old, new)))
+        sources["p0"].database.fail_next("statement", times=100)
+        detector.check_once()
+        assert promoted == [("p0", "r0")]
+        assert group.primary == "r0"
+        assert "p0" in group.replicas
+        stored = cc.load_rule("readwrite_splitting", "g0")
+        assert stored["primary"] == "r0"
+
+    def test_background_thread_runs(self):
+        import time
+
+        sources, cc, detector = self.make()
+        detector.start()
+        time.sleep(0.1)
+        detector.stop()
+        assert cc.get_status("datasource/p0") == "UP"
+
+    def test_recovered_source_marked_up(self):
+        sources, cc, detector = self.make()
+        sources["r1"].database.fail_next("statement", times=1)
+        detector.check_once()
+        assert not detector.is_up("r1")
+        detector.check_once()  # injection consumed; healthy again
+        assert detector.is_up("r1")
+        assert cc.get_status("datasource/r1") == "UP"

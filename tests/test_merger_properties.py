@@ -1,0 +1,111 @@
+"""Property tests for the result merger: merging N sorted shards must
+equal sorting/aggregating the concatenation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import AggregateSpec, MaterializedResult, MergeSpec, merge
+
+shard_values = st.lists(st.integers(min_value=-100, max_value=100), min_size=0, max_size=20)
+shards_strategy = st.lists(shard_values, min_size=2, max_size=5)
+
+
+def make_shards(shards, desc=False):
+    return [
+        MaterializedResult(["v"], [(value,) for value in sorted(shard, reverse=desc)])
+        for shard in shards
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(shards=shards_strategy, desc=st.booleans())
+def test_ordered_merge_equals_global_sort(shards, desc):
+    spec = MergeSpec(is_query=True, order_keys=[(0, desc)])
+    merged = merge(spec, make_shards(shards, desc))
+    got = [row[0] for row in merged.fetchall()]
+    expected = sorted([v for shard in shards for v in shard], reverse=desc)
+    assert got == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(shards=shards_strategy)
+def test_iteration_merge_preserves_multiset(shards):
+    spec = MergeSpec(is_query=True)
+    merged = merge(spec, make_shards(shards))
+    got = sorted(row[0] for row in merged.fetchall())
+    assert got == sorted(v for shard in shards for v in shard)
+
+
+@settings(max_examples=80, deadline=None)
+@given(shards=shards_strategy)
+def test_sum_count_aggregation_equals_global(shards):
+    spec = MergeSpec(
+        is_query=True,
+        aggregates=[AggregateSpec("COUNT", 0), AggregateSpec("SUM", 1)],
+    )
+    results = [
+        MaterializedResult(["c", "s"], [(len(shard), sum(shard) if shard else None)])
+        for shard in shards
+    ]
+    merged = merge(spec, results).fetchall()
+    flat = [v for shard in shards for v in shard]
+    assert merged[0][0] == len(flat)
+    assert merged[0][1] == (sum(flat) if flat else None)
+
+
+@settings(max_examples=80, deadline=None)
+@given(shards=shards_strategy)
+def test_avg_from_partials_equals_global_mean(shards):
+    spec = MergeSpec(
+        is_query=True,
+        output_width=1,
+        aggregates=[AggregateSpec("AVG", 0, count_index=1, sum_index=2)],
+    )
+    results = []
+    for shard in shards:
+        count = len(shard)
+        total = sum(shard) if shard else None
+        local_avg = total / count if count else None
+        results.append(MaterializedResult(["a", "c", "s"], [(local_avg, count, total)]))
+    merged = merge(spec, results).fetchall()
+    flat = [v for shard in shards for v in shard]
+    if flat:
+        assert merged[0][0] == sum(flat) / len(flat)
+    else:
+        assert merged[0][0] is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shards_strategy, count=st.integers(1, 10), offset=st.integers(0, 10))
+def test_pagination_matches_slicing(shards, count, offset):
+    spec = MergeSpec(
+        is_query=True, order_keys=[(0, False)], limit_count=count, limit_offset=offset
+    )
+    merged = merge(spec, make_shards(shards))
+    got = [row[0] for row in merged.fetchall()]
+    expected = sorted(v for shard in shards for v in shard)[offset : offset + count]
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=st.lists(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(-20, 20)), min_size=0, max_size=15),
+    min_size=2, max_size=4,
+))
+def test_group_by_stream_equals_memory(shards):
+    """Stream and memory group merges must agree when input is pre-sorted."""
+    sorted_shards = [sorted(shard) for shard in shards]
+    results = lambda: [
+        MaterializedResult(
+            ["g", "s"],
+            [(g, sum(v for gg, v in shard if gg == g)) for g in sorted({gg for gg, _ in shard})],
+        )
+        for shard in sorted_shards
+    ]
+    base = dict(
+        is_query=True, has_group_by=True, group_keys=[0], order_keys=[(0, False)],
+        aggregates=[AggregateSpec("SUM", 1)],
+    )
+    stream = merge(MergeSpec(**base, group_equals_order=True), results()).fetchall()
+    memory = merge(MergeSpec(**base, group_equals_order=False), results()).fetchall()
+    assert stream == memory

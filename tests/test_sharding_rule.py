@@ -1,0 +1,369 @@
+"""Unit tests for rules, strategies, data nodes and AutoTable."""
+
+import pytest
+
+from repro.exceptions import RouteError, ShardingConfigError
+from repro.sharding import (
+    DataNode,
+    KeyGenerateConfig,
+    NoneShardingStrategy,
+    ShardingRule,
+    ShardingValue,
+    StandardShardingStrategy,
+    TableRule,
+    build_auto_table_rule,
+    build_standard_table_rule,
+    compute_data_nodes,
+    create_algorithm,
+    create_key_generator,
+    create_physical_tables,
+)
+from repro.storage import DataSource, TableSchema, Column, make_type
+
+
+def mod2():
+    return create_algorithm("MOD", {"sharding-count": 2})
+
+
+def mod(n):
+    return create_algorithm("MOD", {"sharding-count": n})
+
+
+class TestDataNode:
+    def test_parse(self):
+        node = DataNode.parse("ds0.t_user_0")
+        assert node == DataNode("ds0", "t_user_0")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ShardingConfigError):
+            DataNode.parse("no-dot")
+
+    def test_str(self):
+        assert str(DataNode("ds0", "t")) == "ds0.t"
+
+
+class TestShardingValue:
+    def test_precise_intersection(self):
+        a = ShardingValue("uid", values=[1, 2, 3])
+        b = ShardingValue("uid", values=[2, 3, 4])
+        assert a.intersect(b).values == [2, 3]
+
+    def test_precise_beats_range(self):
+        a = ShardingValue("uid", values=[1])
+        b = ShardingValue("uid", range_=(0, 10))
+        assert a.intersect(b).is_precise
+        assert b.intersect(a).is_precise
+
+
+class TestStandardStrategy:
+    def test_precise_route(self):
+        strategy = StandardShardingStrategy("uid", mod2())
+        targets = ["t_0", "t_1"]
+        routed = strategy.route(targets, {"uid": ShardingValue("uid", values=[2])})
+        assert routed == ["t_0"]
+
+    def test_in_values_dedupe(self):
+        strategy = StandardShardingStrategy("uid", mod2())
+        routed = strategy.route(["t_0", "t_1"], {"uid": ShardingValue("uid", values=[1, 3, 5])})
+        assert routed == ["t_1"]
+
+    def test_missing_condition_routes_all(self):
+        strategy = StandardShardingStrategy("uid", mod2())
+        assert strategy.route(["t_0", "t_1"], {}) == ["t_0", "t_1"]
+
+    def test_range_route(self):
+        strategy = StandardShardingStrategy("uid", mod(4))
+        routed = strategy.route(
+            ["t_0", "t_1", "t_2", "t_3"], {"uid": ShardingValue("uid", range_=(1, 2))}
+        )
+        assert sorted(routed) == ["t_1", "t_2"]
+
+
+def paper_rule():
+    """The paper's running example: t_user/t_order split by uid % 2."""
+    t_user = build_standard_table_rule(
+        "t_user", ["ds0", "ds1"], tables_per_source=1,
+        database_column="uid", database_algorithm=mod2(),
+    )
+    # nodes: ds0.t_user_0, ds1.t_user_0 -> rename to paper style
+    t_user = TableRule(
+        "t_user",
+        [DataNode("ds0", "t_user_h0"), DataNode("ds1", "t_user_h1")],
+        database_strategy=StandardShardingStrategy("uid", mod2()),
+    )
+    t_order = TableRule(
+        "t_order",
+        [DataNode("ds0", "t_order_h0"), DataNode("ds1", "t_order_h1")],
+        database_strategy=StandardShardingStrategy("uid", mod2()),
+    )
+    return ShardingRule(
+        table_rules=[t_user, t_order],
+        binding_groups=[["t_user", "t_order"]],
+        broadcast_tables=["t_dict"],
+        default_data_source="ds0",
+    )
+
+
+class TestTableRule:
+    def test_route_equality_single_node(self):
+        rule = paper_rule().table_rule("t_user")
+        nodes = rule.route({"uid": ShardingValue("uid", values=[4])})
+        assert nodes == [DataNode("ds0", "t_user_h0")]
+
+    def test_route_in_two_nodes(self):
+        rule = paper_rule().table_rule("t_user")
+        nodes = rule.route({"uid": ShardingValue("uid", values=[1, 2])})
+        assert set(nodes) == {DataNode("ds0", "t_user_h0"), DataNode("ds1", "t_user_h1")}
+
+    def test_route_no_condition_broadcasts_to_all_nodes(self):
+        rule = paper_rule().table_rule("t_user")
+        assert len(rule.route({})) == 2
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ShardingConfigError):
+            TableRule("t", [])
+
+    def test_grid_rule_routes_both_levels(self):
+        rule = build_standard_table_rule(
+            "t_x", ["ds0", "ds1"], tables_per_source=2,
+            database_column="uid", database_algorithm=mod2(),
+            table_column="oid", table_algorithm=mod2(),
+        )
+        nodes = rule.route({
+            "uid": ShardingValue("uid", values=[3]),
+            "oid": ShardingValue("oid", values=[4]),
+        })
+        assert nodes == [DataNode("ds1", "t_x_0")]
+
+    def test_sharding_columns(self):
+        rule = build_standard_table_rule(
+            "t_x", ["ds0"], tables_per_source=2,
+            table_column="oid", table_algorithm=mod2(),
+        )
+        assert rule.sharding_columns == {"oid"}
+
+
+class TestShardingRule:
+    def test_is_sharded_and_broadcast(self):
+        rule = paper_rule()
+        assert rule.is_sharded("T_USER")
+        assert not rule.is_sharded("t_nope")
+        assert rule.is_broadcast("t_dict")
+
+    def test_binding_detection(self):
+        rule = paper_rule()
+        assert rule.are_binding(["t_user", "t_order"])
+        assert not rule.are_binding(["t_user", "t_other"])
+
+    def test_binding_partner_node(self):
+        rule = paper_rule()
+        user = rule.table_rule("t_user")
+        order = rule.table_rule("t_order")
+        node = DataNode("ds1", "t_user_h1")
+        assert rule.binding_partner_node(user, node, order) == DataNode("ds1", "t_order_h1")
+
+    def test_binding_group_validation(self):
+        rule = paper_rule()
+        with pytest.raises(ShardingConfigError):
+            rule.add_binding_group(["t_user", "missing_table"])
+        with pytest.raises(ShardingConfigError):
+            rule.add_binding_group(["t_user"])
+
+    def test_binding_requires_same_node_count(self):
+        rule = paper_rule()
+        uneven = TableRule(
+            "t_big", [DataNode("ds0", "t_big_0"), DataNode("ds0", "t_big_1"), DataNode("ds1", "t_big_2")],
+        )
+        rule.add_table_rule(uneven)
+        with pytest.raises(ShardingConfigError):
+            rule.add_binding_group(["t_user", "t_big"])
+
+    def test_drop_table_rule_cleans_bindings(self):
+        rule = paper_rule()
+        rule.drop_table_rule("t_user")
+        assert not rule.is_sharded("t_user")
+        assert rule.binding_groups == []
+
+    def test_drop_missing_rule_raises(self):
+        with pytest.raises(ShardingConfigError):
+            paper_rule().drop_table_rule("nope")
+
+    def test_all_data_sources(self):
+        assert paper_rule().all_data_sources() == ["ds0", "ds1"]
+
+    def test_unknown_table_rule_raises(self):
+        with pytest.raises(ShardingConfigError):
+            paper_rule().table_rule("missing")
+
+
+class TestAutoTable:
+    def test_round_robin_distribution(self):
+        nodes = compute_data_nodes("t_user", ["ds0", "ds1"], 4)
+        assert nodes == [
+            DataNode("ds0", "t_user_0"),
+            DataNode("ds1", "t_user_1"),
+            DataNode("ds0", "t_user_2"),
+            DataNode("ds1", "t_user_3"),
+        ]
+
+    def test_build_auto_rule_routes_by_hash(self):
+        rule = build_auto_table_rule(
+            "t_user", ["ds0", "ds1"], sharding_column="uid",
+            algorithm_type="HASH_MOD", properties={"sharding-count": 2},
+        )
+        assert rule.auto
+        nodes = rule.route({"uid": ShardingValue("uid", values=[4])})
+        assert nodes == [DataNode("ds0", "t_user_0")]
+
+    def test_auto_rule_requires_count(self):
+        with pytest.raises(ShardingConfigError):
+            build_auto_table_rule(
+                "t", ["ds0"], sharding_column="uid",
+                algorithm_type="INLINE",
+                properties={"algorithm-expression": "t_${uid % 2}", "sharding-column": "uid"},
+            )
+
+    def test_key_generator_attached(self):
+        rule = build_auto_table_rule(
+            "t_user", ["ds0"], sharding_column="uid",
+            properties={"sharding-count": 2},
+            key_generate_column="uid",
+        )
+        assert rule.key_generate is not None
+        assert rule.key_generate.column == "uid"
+        assert isinstance(rule.key_generate.generator.next_key(), int)
+
+    def test_create_physical_tables(self):
+        sources = {"ds0": DataSource("ds0"), "ds1": DataSource("ds1")}
+        rule = build_auto_table_rule(
+            "t_user", ["ds0", "ds1"], sharding_column="uid",
+            properties={"sharding-count": 4},
+        )
+        schema = TableSchema(
+            "t_user",
+            [Column("uid", make_type("INT"), not_null=True), Column("name", make_type("VARCHAR", 32))],
+            primary_key=["uid"],
+        )
+        created = create_physical_tables(rule, schema, sources)
+        assert len(created) == 4
+        assert sources["ds0"].database.table_names() == ["t_user_0", "t_user_2"]
+        assert sources["ds1"].database.table_names() == ["t_user_1", "t_user_3"]
+
+    def test_create_physical_tables_unknown_resource(self):
+        rule = build_auto_table_rule(
+            "t", ["ds_missing"], sharding_column="uid", properties={"sharding-count": 1}
+        )
+        schema = TableSchema("t", [Column("uid", make_type("INT"))])
+        with pytest.raises(ShardingConfigError):
+            create_physical_tables(rule, schema, {})
+
+
+class TestDuplicateTableNamesAcrossSources:
+    """Regression: grid layouts reuse actual table names across sources
+    (ds0.t_0, ds1.t_0); routing must key nodes by (source, table)."""
+
+    def make_rule(self):
+        return TableRule(
+            "t",
+            [DataNode(ds, f"t_{j}") for ds in ("ds0", "ds1") for j in range(2)],
+            database_strategy=StandardShardingStrategy("k", mod2()),
+            table_strategy=StandardShardingStrategy("k", mod2()),
+        )
+
+    def test_point_route_lands_in_correct_source(self):
+        rule = self.make_rule()
+        nodes = rule.route({"k": ShardingValue("k", values=[2])})
+        assert nodes == [DataNode("ds0", "t_0")]
+        nodes = rule.route({"k": ShardingValue("k", values=[3])})
+        assert nodes == [DataNode("ds1", "t_1")]
+
+    def test_full_route_covers_every_node_once(self):
+        rule = self.make_rule()
+        nodes = rule.route({})
+        assert len(nodes) == 4
+        assert len(set(nodes)) == 4
+        assert {n.data_source for n in nodes} == {"ds0", "ds1"}
+
+    def test_auto_rule_rejects_duplicate_names(self):
+        with pytest.raises(ShardingConfigError):
+            TableRule(
+                "t",
+                [DataNode("ds0", "t_0"), DataNode("ds1", "t_0")],
+                auto=True,
+            )
+
+
+class TestVerticalSharding:
+    """Fig. 3's vertical quadrants: table-to-source assignment and
+    wide-table column splitting."""
+
+    def test_vertical_data_source_sharding_routes_whole_tables(self):
+        from repro.engine import SQLEngine
+        from repro.sharding import make_vertical_sharding
+
+        sources = {"ds0": DataSource("ds0"), "ds1": DataSource("ds1")}
+        rule = make_vertical_sharding({"t_user": "ds0", "t_order": "ds1"})
+        engine = SQLEngine(sources, rule)
+        engine.execute("CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+        engine.execute("CREATE TABLE t_order (oid INT PRIMARY KEY, uid INT)")
+        assert sources["ds0"].database.has_table("t_user")
+        assert not sources["ds0"].database.has_table("t_order")
+        assert sources["ds1"].database.has_table("t_order")
+        engine.execute("INSERT INTO t_user (uid, name) VALUES (1, 'a')")
+        engine.execute("INSERT INTO t_order (oid, uid) VALUES (10, 1)")
+        assert engine.execute("SELECT name FROM t_user WHERE uid = 1").fetchall() == [("a",)]
+        assert engine.execute("SELECT oid FROM t_order").fetchall() == [(10,)]
+        engine.close()
+
+    def test_vertical_requires_assignments(self):
+        from repro.sharding import make_vertical_sharding
+
+        with pytest.raises(ShardingConfigError):
+            make_vertical_sharding({})
+
+    def test_split_table_vertically_paper_example(self):
+        """t_user(uid, name, age, addr) -> t_user_v0(uid, name, age) +
+        t_user_v1(uid, addr), as in Fig. 3(b)."""
+        from repro.sharding import split_table_vertically
+
+        source = DataSource("v")
+        source.execute(
+            "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32), "
+            "age INT, addr VARCHAR(64))"
+        )
+        source.execute(
+            "INSERT INTO t_user (uid, name, age, addr) VALUES "
+            "(1, 'tom', 30, 'beijing'), (2, 'jerry', 28, 'shanghai')"
+        )
+        created = split_table_vertically(
+            source, "t_user", [["name", "age"], ["addr"]], key_column="uid",
+        )
+        assert created == ["t_user_v0", "t_user_v1"]
+        assert source.execute("SELECT uid, name, age FROM t_user_v0 ORDER BY uid") == [
+            (1, "tom", 30), (2, "jerry", 28)
+        ]
+        assert source.execute("SELECT uid, addr FROM t_user_v1 ORDER BY uid") == [
+            (1, "beijing"), (2, "shanghai")
+        ]
+        # the split tables stay joinable on the key
+        rows = source.execute(
+            "SELECT a.name, b.addr FROM t_user_v0 a JOIN t_user_v1 b ON a.uid = b.uid "
+            "ORDER BY a.uid"
+        )
+        assert rows == [("tom", "beijing"), ("jerry", "shanghai")]
+
+    def test_split_rejects_uncovered_columns(self):
+        from repro.sharding import split_table_vertically
+
+        source = DataSource("v2")
+        source.execute("CREATE TABLE t (uid INT PRIMARY KEY, a INT, b INT)")
+        with pytest.raises(ShardingConfigError, match="do not cover"):
+            split_table_vertically(source, "t", [["a"]], key_column="uid")
+
+    def test_split_can_drop_original(self):
+        from repro.sharding import split_table_vertically
+
+        source = DataSource("v3")
+        source.execute("CREATE TABLE t (uid INT PRIMARY KEY, a INT)")
+        split_table_vertically(source, "t", [["a"]], key_column="uid", drop_original=True)
+        assert not source.database.has_table("t")

@@ -1,0 +1,119 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.exceptions import SQLParseError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        assert kinds("select from") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+        ]
+
+    def test_identifier_preserves_case(self):
+        assert kinds("t_User") == [(TokenType.IDENTIFIER, "t_User")]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [(TokenType.NUMBER, "3.14")]
+
+    def test_scientific_notation(self):
+        assert kinds("1e5 2.5E-3") == [
+            (TokenType.NUMBER, "1e5"),
+            (TokenType.NUMBER, "2.5E-3"),
+        ]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_placeholder(self):
+        assert kinds("?") == [(TokenType.PLACEHOLDER, "?")]
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLParseError):
+            tokenize("'oops")
+
+
+class TestQuotedIdentifiers:
+    def test_backtick(self):
+        assert kinds("`order`") == [(TokenType.IDENTIFIER, "order")]
+
+    def test_double_quote(self):
+        assert kinds('"select"') == [(TokenType.IDENTIFIER, "select")]
+
+    def test_brackets(self):
+        assert kinds("[weird name]") == [(TokenType.IDENTIFIER, "weird name")]
+
+    def test_unterminated_identifier_raises(self):
+        with pytest.raises(SQLParseError):
+            tokenize("`oops")
+
+
+class TestOperatorsAndComments:
+    def test_multi_char_operators_are_greedy(self):
+        assert kinds("<= >= <> != <=>") == [
+            (TokenType.OPERATOR, "<="),
+            (TokenType.OPERATOR, ">="),
+            (TokenType.OPERATOR, "<>"),
+            (TokenType.OPERATOR, "!="),
+            (TokenType.OPERATOR, "<=>"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("1 -- comment\n2") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.NUMBER, "2"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds("1 /* x */ 2") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.NUMBER, "2"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLParseError):
+            tokenize("1 /* nope")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLParseError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_token_helpers(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches("SELECT", "INSERT")
+        assert not token.matches("UPDATE")
+        punct = Token(TokenType.PUNCTUATION, "(", 0)
+        assert punct.is_punct("(")
+        op = Token(TokenType.OPERATOR, "=", 0)
+        assert op.is_op("=")

@@ -1,0 +1,283 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.exceptions import SQLParseError, UnsupportedSQLError
+from repro.sql import ast, parse, parse_expression
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t_user")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert isinstance(stmt.select_items[0].expression, ast.Star)
+        assert stmt.from_table.name == "t_user"
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT u.* FROM t_user u")
+        assert stmt.select_items[0].expression.table == "u"
+
+    def test_columns_and_aliases(self):
+        stmt = parse("SELECT uid, name AS n, age a FROM t_user")
+        assert stmt.select_items[0].expression.name == "uid"
+        assert stmt.select_items[1].alias == "n"
+        assert stmt.select_items[2].alias == "a"
+
+    def test_table_alias_with_and_without_as(self):
+        assert parse("SELECT * FROM t_user AS u").from_table.alias == "u"
+        assert parse("SELECT * FROM t_user u").from_table.alias == "u"
+
+    def test_where_equality(self):
+        stmt = parse("SELECT * FROM t WHERE uid = 5")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "="
+        assert stmt.where.right.value == 5
+
+    def test_where_in(self):
+        stmt = parse("SELECT * FROM t WHERE uid IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InExpr)
+        assert [i.value for i in stmt.where.items] == [1, 2, 3]
+
+    def test_where_not_in(self):
+        stmt = parse("SELECT * FROM t WHERE uid NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_where_between(self):
+        stmt = parse("SELECT * FROM t WHERE k BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, ast.BetweenExpr)
+        assert stmt.where.low.value == 1
+        assert stmt.where.high.value == 10
+
+    def test_between_inside_conjunction(self):
+        stmt = parse("SELECT * FROM t WHERE k BETWEEN 1 AND 10 AND c = 'x'")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+        assert isinstance(stmt.where.left, ast.BetweenExpr)
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse("SELECT * FROM t WHERE c IS NULL").where.negated
+        assert parse("SELECT * FROM t WHERE c IS NOT NULL").where.negated
+
+    def test_group_by_having(self):
+        stmt = parse("SELECT name, SUM(score) FROM t GROUP BY name HAVING SUM(score) > 10")
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT * FROM t ORDER BY a ASC, b DESC, c")
+        assert [i.desc for i in stmt.order_by] == [False, True, False]
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit.count.value == 10
+        assert stmt.limit.offset.value == 5
+
+    def test_mysql_limit_comma(self):
+        stmt = parse("SELECT * FROM t LIMIT 5, 10")
+        assert stmt.limit.count.value == 10
+        assert stmt.limit.offset.value == 5
+
+    def test_postgres_offset_only(self):
+        stmt = parse("SELECT * FROM t OFFSET 3")
+        assert stmt.limit.count is None
+        assert stmt.limit.offset.value == 3
+
+    def test_join_with_on(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+        assert stmt.joins[0].condition.op == "="
+
+    def test_left_join(self):
+        stmt = parse("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_comma_join_is_cross(self):
+        stmt = parse("SELECT * FROM a, b WHERE a.x = b.y")
+        assert stmt.joins[0].kind == "CROSS"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT name FROM t").distinct
+
+    def test_for_update(self):
+        assert parse("SELECT * FROM t WHERE id = 1 FOR UPDATE").for_update
+
+    def test_aggregates_collected(self):
+        stmt = parse("SELECT COUNT(*), MAX(a), SUM(b) FROM t")
+        names = [a.name for a in stmt.aggregates()]
+        assert names == ["COUNT", "MAX", "SUM"]
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT uid) FROM t")
+        assert stmt.select_items[0].expression.distinct
+
+    def test_placeholders_get_ordinals(self):
+        stmt = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        placeholders = [n for n in stmt.where.walk() if isinstance(n, ast.Placeholder)]
+        assert [p.index for p in placeholders] == [0, 1]
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1")
+        assert stmt.from_table is None
+
+    def test_case_expression(self):
+        stmt = parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t")
+        expr = stmt.select_items[0].expression
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.default.value == "neg"
+
+
+class TestDML:
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertStatement)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.values_rows) == 2
+        assert stmt.values_rows[1][1].value == "y"
+
+    def test_insert_without_columns(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns == []
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 9")
+        assert isinstance(stmt, ast.UpdateStatement)
+        assert stmt.assignments[0][0] == "a"
+        assert isinstance(stmt.assignments[1][1], ast.BinaryOp)
+        assert stmt.where.right.value == 9
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE id = 1")
+        assert isinstance(stmt, ast.DeleteStatement)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+            "name VARCHAR(64) NOT NULL, score DECIMAL(10, 2) DEFAULT 0)"
+        )
+        assert isinstance(stmt, ast.CreateTableStatement)
+        assert stmt.primary_key == ["id"]
+        assert stmt.columns[0].auto_increment
+        assert stmt.columns[1].not_null
+        assert stmt.columns[1].length == 64
+        assert stmt.columns[2].default == 0
+
+    def test_create_table_composite_pk(self):
+        stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_create_table_skips_key_definitions(self):
+        stmt = parse("CREATE TABLE t (a INT, KEY k_a (a))")
+        assert [c.name for c in stmt.columns] == ["a"]
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx_k ON t (k)")
+        assert isinstance(stmt, ast.CreateIndexStatement)
+        assert stmt.columns == ["k"]
+        assert not stmt.unique
+
+    def test_create_unique_index(self):
+        assert parse("CREATE UNIQUE INDEX i ON t (a)").unique
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTableStatement)
+        assert stmt.if_exists
+
+    def test_truncate(self):
+        stmt = parse("TRUNCATE TABLE t")
+        assert isinstance(stmt, ast.TruncateStatement)
+
+
+class TestTCLAndDAL:
+    @pytest.mark.parametrize("sql", ["BEGIN", "BEGIN WORK", "START TRANSACTION"])
+    def test_begin_forms(self, sql):
+        assert isinstance(parse(sql), ast.BeginStatement)
+
+    def test_commit_rollback(self):
+        assert isinstance(parse("COMMIT"), ast.CommitStatement)
+        assert isinstance(parse("ROLLBACK"), ast.RollbackStatement)
+
+    def test_set_variable(self):
+        stmt = parse("SET VARIABLE transaction_type = 'XA'")
+        assert stmt.name == "transaction_type"
+        assert stmt.value == "XA"
+
+    def test_show(self):
+        stmt = parse("SHOW TABLES")
+        assert stmt.subject == "TABLES"
+
+    def test_statement_categories(self):
+        assert parse("SELECT 1").category == "DQL"
+        assert parse("DELETE FROM t").category == "DML"
+        assert parse("DROP TABLE t").category == "DDL"
+        assert parse("COMMIT").category == "TCL"
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t garbage garbage")
+
+    def test_missing_from_table(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse("EXPLAIN SELECT 1")
+
+    def test_semicolon_tolerated(self):
+        assert isinstance(parse("SELECT 1;"), ast.SelectStatement)
+
+
+class TestExpressions:
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert expr.op == "NOT"
+
+    def test_not_like(self):
+        expr = parse_expression("name NOT LIKE 'a%'")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operand.op == "LIKE"
+
+    def test_qualified_column(self):
+        expr = parse_expression("u.uid")
+        assert expr.table == "u"
+        assert expr.name == "uid"
+
+    def test_function_call(self):
+        expr = parse_expression("COALESCE(a, b, 0)")
+        assert expr.name == "COALESCE"
+        assert len(expr.args) == 3
+
+    def test_walk_yields_descendants(self):
+        expr = parse_expression("a + b * c")
+        names = [n.name for n in expr.walk() if isinstance(n, ast.ColumnRef)]
+        assert names == ["a", "b", "c"]

@@ -1,0 +1,217 @@
+"""Tests for distributed transactions: LOCAL, XA (incl. recovery), BASE."""
+
+import pytest
+
+from repro.exceptions import BaseTransactionError, TransactionError, XATransactionError
+from repro.storage import DataSource
+from repro.transaction import (
+    TransactionCoordinator,
+    TransactionManager,
+    TransactionType,
+    XATransactionLog,
+    recover,
+)
+
+
+@pytest.fixture
+def pair():
+    sources = {"ds0": DataSource("ds0"), "ds1": DataSource("ds1")}
+    for ds in sources.values():
+        ds.execute("CREATE TABLE acct (id INT PRIMARY KEY, balance INT NOT NULL)")
+        ds.execute("INSERT INTO acct (id, balance) VALUES (1, 100)")
+    return sources
+
+
+def balances(sources):
+    return {
+        name: ds.execute("SELECT balance FROM acct WHERE id = 1")[0][0]
+        for name, ds in sources.items()
+    }
+
+
+def transfer(txn, amounts):
+    for ds_name, delta in amounts.items():
+        conn = txn.connection_for(ds_name)
+        conn.execute(f"UPDATE acct SET balance = balance + {delta} WHERE id = 1")
+
+
+class TestTransactionType:
+    def test_of_parses_names(self):
+        assert TransactionType.of("xa") is TransactionType.XA
+        assert TransactionType.of("LOCAL") is TransactionType.LOCAL
+
+    def test_of_rejects_unknown(self):
+        with pytest.raises(TransactionError):
+            TransactionType.of("SAGA")
+
+    def test_manager_switches_type(self, pair):
+        manager = TransactionManager(pair)
+        manager.set_type("XA")
+        assert manager.begin().type is TransactionType.XA
+        manager.set_type(TransactionType.BASE)
+        assert manager.begin().type is TransactionType.BASE
+
+
+class TestLocal:
+    def test_commit_applies_everywhere(self, pair):
+        manager = TransactionManager(pair, TransactionType.LOCAL)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -30, "ds1": 30})
+        txn.commit()
+        assert balances(pair) == {"ds0": 70, "ds1": 130}
+
+    def test_rollback_restores(self, pair):
+        manager = TransactionManager(pair, TransactionType.LOCAL)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -30, "ds1": 30})
+        txn.rollback()
+        assert balances(pair) == {"ds0": 100, "ds1": 100}
+
+    def test_commit_ignores_failures(self, pair):
+        """1PC best effort: one failing source doesn't abort the others."""
+        manager = TransactionManager(pair, TransactionType.LOCAL)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -30, "ds1": 30})
+        pair["ds0"].database.fail_next("commit")
+        txn.commit()  # no raise
+        assert balances(pair)["ds1"] == 130
+        assert len(txn.failures) == 1
+
+    def test_connections_released(self, pair):
+        manager = TransactionManager(pair, TransactionType.LOCAL)
+        txn = manager.begin()
+        transfer(txn, {"ds0": 1, "ds1": 1})
+        txn.commit()
+        assert pair["ds0"].pool.in_use == 0
+        assert pair["ds1"].pool.in_use == 0
+
+    def test_finished_transaction_rejects_use(self, pair):
+        manager = TransactionManager(pair, TransactionType.LOCAL)
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.connection_for("ds0")
+
+
+class TestXA:
+    def test_commit_two_phase(self, pair):
+        manager = TransactionManager(pair, TransactionType.XA)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -50, "ds1": 50})
+        txn.commit()
+        assert balances(pair) == {"ds0": 50, "ds1": 150}
+        # nothing left prepared
+        assert pair["ds0"].database.prepared_xids() == []
+
+    def test_prepare_failure_rolls_back_everything(self, pair):
+        manager = TransactionManager(pair, TransactionType.XA)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -50, "ds1": 50})
+        pair["ds1"].database.fail_next("prepare")
+        with pytest.raises(XATransactionError):
+            txn.commit()
+        assert balances(pair) == {"ds0": 100, "ds1": 100}
+        assert manager.xa_log.get(txn.xid) is None
+
+    def test_rollback(self, pair):
+        manager = TransactionManager(pair, TransactionType.XA)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -50, "ds1": 50})
+        txn.rollback()
+        assert balances(pair) == {"ds0": 100, "ds1": 100}
+
+    def test_phase2_failure_recovered_from_log(self, pair):
+        """Paper: if some RM commits fail after all replied OK, the logs
+        let ShardingSphere re-commit after restart."""
+        log = XATransactionLog()
+        manager = TransactionManager(pair, TransactionType.XA, xa_log=log)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -50, "ds1": 50})
+        pair["ds1"].database.fail_next("commit")
+        with pytest.raises(XATransactionError):
+            txn.commit()
+        # ds0 committed; ds1 still holds a prepared branch.
+        assert balances(pair)["ds0"] == 50
+        assert pair["ds1"].database.prepared_xids() != []
+        # Coordinator "restarts" and recovers from its log.
+        recovered = recover(log, pair)
+        assert recovered == 1
+        assert balances(pair) == {"ds0": 50, "ds1": 150}
+        assert pair["ds1"].database.prepared_xids() == []
+        assert log.in_doubt() == []
+
+    def test_recover_noop_when_clean(self, pair):
+        log = XATransactionLog()
+        assert recover(log, pair) == 0
+
+    def test_single_participant(self, pair):
+        manager = TransactionManager(pair, TransactionType.XA)
+        txn = manager.begin()
+        transfer(txn, {"ds0": 5})
+        txn.commit()
+        assert balances(pair)["ds0"] == 105
+
+
+class TestBase:
+    def make_manager(self, pair, rpc_delay=0.0):
+        return TransactionManager(
+            pair, TransactionType.BASE,
+            coordinator=TransactionCoordinator(rpc_delay=rpc_delay),
+        )
+
+    def test_commit(self, pair):
+        manager = self.make_manager(pair)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -20, "ds1": 20})
+        txn.commit()
+        assert balances(pair) == {"ds0": 80, "ds1": 120}
+
+    def test_rollback_before_commit(self, pair):
+        manager = self.make_manager(pair)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -20, "ds1": 20})
+        txn.rollback()
+        assert balances(pair) == {"ds0": 100, "ds1": 100}
+
+    def test_phase1_failure_compensates_committed_branches(self, pair):
+        """The undo logs restore a branch that already committed locally."""
+        manager = self.make_manager(pair)
+        txn = manager.begin()
+        transfer(txn, {"ds0": -20, "ds1": 20})
+        pair["ds1"].database.fail_next("commit")
+        with pytest.raises(BaseTransactionError):
+            txn.commit()
+        # ds0 committed locally in phase 1 but was compensated back.
+        assert balances(pair) == {"ds0": 100, "ds1": 100}
+
+    def test_global_xid_assigned(self, pair):
+        manager = self.make_manager(pair)
+        txn = manager.begin()
+        assert txn.xid.startswith("seata-")
+        txn.rollback()
+
+    def test_coordinator_cleans_up(self, pair):
+        manager = self.make_manager(pair)
+        txn = manager.begin()
+        transfer(txn, {"ds0": 1})
+        txn.commit()
+        assert manager.coordinator._globals == {}
+
+    def test_rpc_delay_makes_base_slower_than_local(self, pair):
+        import time
+
+        local = TransactionManager(pair, TransactionType.LOCAL)
+        base = self.make_manager(pair, rpc_delay=0.002)
+
+        start = time.perf_counter()
+        txn = local.begin()
+        transfer(txn, {"ds0": 1, "ds1": 1})
+        txn.commit()
+        local_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        txn = base.begin()
+        transfer(txn, {"ds0": 1, "ds1": 1})
+        txn.commit()
+        base_time = time.perf_counter() - start
+        assert base_time > local_time
