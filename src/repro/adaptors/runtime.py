@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from ..engine import Feature, SQLEngine
+from ..engine import Feature, ResiliencePolicy, SQLEngine
 from ..engine.context import build_context
 from ..engine.rewriter import rewrite
 from ..engine.router import route
@@ -38,6 +38,7 @@ class ShardingRuntime:
         transaction_type: TransactionType = TransactionType.LOCAL,
         default_latency: LatencyModel | None = None,
         worker_threads: int = 32,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.data_sources: dict[str, DataSource] = dict(data_sources or {})
         self.rule = rule if rule is not None else ShardingRule()
@@ -51,7 +52,10 @@ class ShardingRuntime:
             max_connections_per_query=max_connections_per_query,
             features=list(features),
             worker_threads=worker_threads,
+            resilience=resilience,
         )
+        #: Governor health detector, once attached (health-aware routing)
+        self.health_detector = None
         self.transaction_manager = TransactionManager(self.data_sources, transaction_type)
         self.variables: dict[str, Any] = {
             "transaction_type": transaction_type.value,
@@ -63,6 +67,33 @@ class ShardingRuntime:
 
     def close(self) -> None:
         self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Resilience + health (Governor integration)
+    # ------------------------------------------------------------------
+
+    def enable_resilience(self, policy: ResiliencePolicy) -> None:
+        """Turn on retries/deadlines/per-source breakers for this runtime."""
+        self.engine.executor.enable_resilience(policy)
+
+    def attach_health_detector(self, detector) -> None:
+        """Wire a Governor :class:`HealthDetector` into execution/routing.
+
+        The executor then skips DOWN sources for degradable broadcast reads
+        and fails writes to DOWN sources fast; read-write splitting (when
+        configured) also steers replica reads through :meth:`_source_is_up`.
+        """
+        self.health_detector = detector
+        self.engine.executor.set_health_check(detector.is_up)
+
+    def _source_is_up(self, name: str) -> bool:
+        """UP per the Governor AND admitted by the source's breaker."""
+        if self.health_detector is not None and not self.health_detector.is_up(name):
+            return False
+        breakers = self.engine.executor.breakers
+        if breakers is not None and not breakers.available(name):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Resource management (DistSQL RDL)
@@ -184,7 +215,9 @@ class ShardingRuntime:
     def apply_rwsplit_rule(self, name: str, primary: str, replicas: list[str]) -> None:
         group = ReadWriteGroup(name=primary, primary=primary, replicas=list(replicas))
         if self._rwsplit_feature is None:
-            self._rwsplit_feature = ReadWriteSplittingFeature([group])
+            self._rwsplit_feature = ReadWriteSplittingFeature(
+                [group], is_up=self._source_is_up
+            )
             self.engine.add_feature(self._rwsplit_feature)
         else:
             self._rwsplit_feature.groups[group.name] = group

@@ -53,7 +53,51 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--transaction-type", choices=("LOCAL", "XA", "BASE"),
                         default="LOCAL")
     parser.add_argument("--layout", choices=("range", "hash"), default="range")
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject seeded transient faults and enable the "
+                             "resilience policy (retries + per-source breakers)")
+    parser.add_argument("--chaos-seed", type=int, default=7)
+    parser.add_argument("--chaos-transient-rate", type=float, default=0.02,
+                        help="per-statement transient fault probability")
     return parser
+
+
+def enable_chaos(system, args: argparse.Namespace):
+    """Wire a seeded FaultInjector + ResiliencePolicy into a sharding system.
+
+    Returns the injector, or None when the system has no runtime to wire
+    (single-node baselines run without fault injection).
+    """
+    runtime = getattr(system, "runtime", None)
+    if runtime is None:
+        print(f"warning: --chaos ignored: {system.name} has no sharding runtime",
+              file=sys.stderr)
+        return None
+    from ..engine import ResiliencePolicy
+    from ..storage import FaultInjector
+
+    injector = FaultInjector(seed=args.chaos_seed)
+    for name, source in runtime.data_sources.items():
+        injector.configure(
+            name,
+            transient_rate=args.chaos_transient_rate,
+            latency_rate=0.005,
+            latency_spike=0.002,
+        )
+        source.set_fault_injector(injector)
+    runtime.engine.executor.enable_resilience(
+        ResiliencePolicy(max_retries=4, retry_writes=True, seed=args.chaos_seed)
+    )
+    return injector
+
+
+def print_chaos_report(system, injector) -> None:
+    metrics = system.runtime.engine.executor.metrics.snapshot()
+    print("chaos: injected =", dict(injector.snapshot()))
+    print("chaos: absorbed = "
+          + ", ".join(f"{key}={metrics[key]}" for key in
+                      ("retries", "reroutes", "timeouts", "giveups",
+                       "degraded_statements", "breaker_rejections")))
 
 
 def build_system(args: argparse.Namespace, tables, broadcast=()):
@@ -96,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         system = build_system(args, [("sbtest", "id")])
         print(f"preparing {args.system} with {args.table_size} rows ...", file=sys.stderr)
         workload.prepare(system)
+        injector = enable_chaos(system, args) if args.chaos else None
         try:
             measurement = run_benchmark(
                 system,
@@ -108,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table(["System", "TPS", "99T(ms)", "AvgT(ms)"], [sysbench_row(measurement)]))
         print(f"({measurement.transactions} transactions, {measurement.errors} errors, "
               f"scenario={args.scenario}, threads={args.threads})")
+        if injector is not None:
+            print_chaos_report(system, injector)
         return 0
 
     workload = TPCCWorkload(TPCCConfig(warehouses=args.warehouses))
@@ -116,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
     ) if args.system not in ("ms", "aurora") else build_system(args, [])
     print(f"preparing TPC-C with {args.warehouses} warehouses ...", file=sys.stderr)
     workload.prepare(system)
+    injector = enable_chaos(system, args) if args.chaos else None
     try:
         measurement = run_benchmark(
             system,
@@ -130,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
     print(format_table(["System", "TPS", "90T(ms)"], [tpcc_row(measurement)]))
     print(f"({measurement.transactions} transactions, {measurement.errors} errors, "
           f"threads={args.threads})")
+    if injector is not None:
+        print_chaos_report(system, injector)
     return 0
 
 

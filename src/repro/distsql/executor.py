@@ -201,6 +201,34 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
     if stmt.subject == "algorithms":
         rows = [(a,) for a in available_algorithms()]
         return DistSQLResult(columns=["algorithm"], rows=rows)
+    if stmt.subject == "circuit_breakers":
+        engine = getattr(runtime, "engine", None)
+        breakers = engine.executor.breakers if engine is not None else None
+        rows = breakers.snapshot_rows() if breakers is not None else []
+        return DistSQLResult(
+            columns=["data_source", "state", "failures", "open_seconds"],
+            rows=rows,
+            message="no resilience policy enabled" if breakers is None else "OK",
+        )
+    if stmt.subject == "execution_metrics":
+        engine = getattr(runtime, "engine", None)
+        if engine is None:
+            return DistSQLResult(columns=["metric", "value"], rows=[])
+        snapshot = engine.executor.metrics.snapshot()
+        rows = [(key, snapshot[key]) for key in sorted(snapshot)]
+        return DistSQLResult(columns=["metric", "value"], rows=rows)
+    if stmt.subject == "failovers":
+        detector = getattr(runtime, "health_detector", None)
+        events = detector.failover_events if detector is not None else []
+        rows = [
+            (e.group, e.old_primary, e.new_primary, round(e.latency * 1000, 3))
+            for e in events
+        ]
+        return DistSQLResult(
+            columns=["group", "old_primary", "new_primary", "failover_ms"],
+            rows=rows,
+            message="no health detector attached" if detector is None else "OK",
+        )
     raise DistSQLError(f"unknown SHOW subject {stmt.subject!r}")
 
 

@@ -25,6 +25,9 @@ RQL (Resource & Rule Query Language)::
     SHOW SHARDING BINDING TABLE RULES
     SHOW BROADCAST TABLE RULES
     SHOW SHARDING ALGORITHMS
+    SHOW CIRCUIT BREAKERS
+    SHOW EXECUTION METRICS
+    SHOW FAILOVER EVENTS
 
 RAL (Resource & Rule Administration Language)::
 
@@ -158,6 +161,9 @@ _DIST_PREFIXES = (
     "SHOW SHARDING",
     "SHOW BROADCAST",
     "SHOW VARIABLE",
+    "SHOW CIRCUIT",
+    "SHOW EXECUTION",
+    "SHOW FAILOVER",
     "SET VARIABLE",
     "PREVIEW",
     "MIGRATE TABLE",
@@ -398,4 +404,13 @@ class _Parser:
             return ShowStatement(subject="broadcast_rules")
         if self._accept_word("VARIABLE"):
             return ShowVariable(name=self._expect_name())
+        if self._accept_word("CIRCUIT"):
+            self._expect_word("BREAKERS")
+            return ShowStatement(subject="circuit_breakers")
+        if self._accept_word("EXECUTION"):
+            self._expect_word("METRICS")
+            return ShowStatement(subject="execution_metrics")
+        if self._accept_word("FAILOVER"):
+            self._accept_word("EVENTS")
+            return ShowStatement(subject="failovers")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

@@ -15,6 +15,12 @@ from .merger import (
     merge,
 )
 from .pipeline import EngineResult, Feature, SQLEngine
+from .resilience import (
+    BreakerRegistry,
+    CircuitBreaker,
+    CircuitState,
+    ResiliencePolicy,
+)
 from .rewriter import ExecutionUnit, RewriteResult, rewrite
 from .router import RouteResult, RouteUnit, route
 
@@ -39,4 +45,8 @@ __all__ = [
     "SQLEngine",
     "EngineResult",
     "Feature",
+    "ResiliencePolicy",
+    "CircuitBreaker",
+    "CircuitState",
+    "BreakerRegistry",
 ]

@@ -1,4 +1,4 @@
-"""Automatic execution engine (Section VI-D).
+"""Automatic execution engine (Section VI-D) with a resilience layer.
 
 Balances data-source connections, memory and concurrency:
 
@@ -15,21 +15,43 @@ Balances data-source connections, memory and concurrency:
   results are memory-loaded, so circular waits are impossible).
 - Execution units run in parallel on a shared worker pool; per-unit event
   hooks feed transactions and monitoring.
+
+Resilience (opt-in via :class:`ResiliencePolicy`):
+
+- Each execution unit runs under a retry loop: transient errors are
+  retried with exponential backoff + full jitter, re-acquiring a fresh
+  connection when the old one was dropped. Reads always qualify; writes
+  only in autocommit mode with ``retry_writes``; writes inside an open
+  distributed transaction are never retried.
+- A per-statement deadline budget bounds the total time spent including
+  backoff sleeps; exceeding it raises :class:`DeadlineExceededError`.
+- Per-data-source circuit breakers (keyed by route target) gate every
+  attempt; consecutive failures trip only the sick source's breaker.
+- With a health check attached (Governor's detector), broadcast reads
+  skip DOWN sources and return partial results flagged as such, while
+  writes to a DOWN source fail fast with a clear error.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import random
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-from ..exceptions import ExecutionError
+from ..exceptions import (
+    CircuitBreakerOpenError,
+    DataSourceUnavailableError,
+    DeadlineExceededError,
+    ExecutionError,
+)
 from ..storage import Connection, DataSource
 from .merger import MaterializedResult, ShardResult
+from .resilience import BreakerRegistry, ResiliencePolicy
 from .rewriter import ExecutionUnit
 
 
@@ -47,6 +69,10 @@ class ExecutionResult:
     modes: dict[str, ConnectionMode] = field(default_factory=dict)
     #: run these once the merged result has been fully consumed
     finalizers: list[Callable[[], None]] = field(default_factory=list)
+    #: True when DOWN sources were skipped (graceful degradation)
+    partial_results: bool = False
+    #: data sources whose units were skipped or soft-failed
+    skipped_sources: list[str] = field(default_factory=list)
 
     def release(self) -> None:
         finalizers, self.finalizers = self.finalizers, []
@@ -61,16 +87,40 @@ class ExecutionMetrics:
     statements: int = 0
     memory_strictly: int = 0
     connection_strictly: int = 0
+    # resilience counters
+    retries: int = 0
+    reroutes: int = 0
+    timeouts: int = 0
+    giveups: int = 0
+    failed_units: int = 0
+    degraded_statements: int = 0
+    skipped_units: int = 0
+    breaker_rejections: int = 0
+    #: per data source breakdown: {source: {"retries"|"failures"|...: n}}
+    per_source: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def bump(self, source: str, key: str) -> None:
+        by_key = self.per_source.setdefault(source, {})
+        by_key[key] = by_key.get(key, 0) + 1
 
     def snapshot(self) -> dict[str, int]:
         return {
             "statements": self.statements,
             "memory_strictly": self.memory_strictly,
             "connection_strictly": self.connection_strictly,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "timeouts": self.timeouts,
+            "giveups": self.giveups,
+            "failed_units": self.failed_units,
+            "degraded_statements": self.degraded_statements,
+            "skipped_units": self.skipped_units,
+            "breaker_rejections": self.breaker_rejections,
         }
 
 
-#: event hook signature: (event, payload) — events: "execute", "mode".
+#: event hook signature: (event, payload) — events: "execute", "mode",
+#: "retry", "giveup", "timeout", "degraded", "reroute".
 EventListener = Callable[[str, dict[str, Any]], None]
 
 
@@ -82,6 +132,8 @@ class ExecutionEngine:
         data_sources: Mapping[str, DataSource],
         max_connections_per_query: int = 1,
         worker_threads: int = 32,
+        resilience: ResiliencePolicy | None = None,
+        health_check: Callable[[str], bool] | None = None,
     ):
         if max_connections_per_query < 1:
             raise ExecutionError("max_connections_per_query must be >= 1")
@@ -91,6 +143,23 @@ class ExecutionEngine:
         self.listeners: list[EventListener] = []
         self._pool = ThreadPoolExecutor(max_workers=worker_threads, thread_name_prefix="ss-exec")
         self._closed = False
+        self.resilience: ResiliencePolicy | None = None
+        self.breakers: BreakerRegistry | None = None
+        self.health_check = health_check
+        self._retry_rng = random.Random(0)
+        self._rng_lock = threading.Lock()
+        if resilience is not None:
+            self.enable_resilience(resilience)
+
+    def enable_resilience(self, policy: ResiliencePolicy) -> None:
+        """Attach (or replace) the resilience policy + per-source breakers."""
+        self.resilience = policy
+        self.breakers = BreakerRegistry.from_policy(policy)
+        self._retry_rng = random.Random(policy.seed if policy.seed is not None else 0)
+
+    def set_health_check(self, health_check: Callable[[str], bool] | None) -> None:
+        """Wire the Governor's health view (name -> is UP) into execution."""
+        self.health_check = health_check
 
     def close(self) -> None:
         if not self._closed:
@@ -113,18 +182,33 @@ class ExecutionEngine:
         units: Sequence[ExecutionUnit],
         is_query: bool,
         held_connections: Mapping[str, Connection] | None = None,
+        route_type: str = "",
     ) -> ExecutionResult:
         """Run all units; group per data source and pick connection modes.
 
         ``held_connections`` carries the per-data-source connections pinned
         by an open distributed transaction: statements inside a transaction
         must reuse them (and are therefore serial per data source).
+        ``route_type`` lets the resilience layer know when a multi-source
+        read is a broadcast that may gracefully degrade.
         """
+        deadline = self._statement_deadline()
+        result = ExecutionResult()
+        units = list(units)
+
+        allow_partial = (
+            self.resilience is not None
+            and self.resilience.allow_partial_broadcast
+            and is_query
+            and held_connections is None
+            and route_type in ("standard", "broadcast", "cartesian")
+            and len(units) > 1
+        )
+        units = self._apply_health_filter(units, is_query, allow_partial, route_type, result)
+
         groups: dict[str, list[ExecutionUnit]] = {}
         for unit in units:
             groups.setdefault(unit.data_source, []).append(unit)
-
-        result = ExecutionResult()
 
         # Fast path: one unit on one source runs on the calling thread —
         # the dominant OLTP case (point selects / PK writes), where worker
@@ -133,7 +217,13 @@ class ExecutionEngine:
             unit = units[0]
             pinned = (held_connections or {}).get(unit.data_source)
             if pinned is not None:
-                cursor = pinned.execute(unit.statement, unit.params)
+                cursor = self._run_attempts(
+                    unit.data_source,
+                    lambda: pinned.execute(unit.statement, unit.params),
+                    is_query=is_query,
+                    pinned=pinned,
+                    deadline=deadline,
+                )
                 result.modes[unit.data_source] = ConnectionMode.CONNECTION_STRICTLY
                 if is_query:
                     result.results.append(
@@ -146,12 +236,27 @@ class ExecutionEngine:
             source = self._source(unit.data_source)
             result.modes[unit.data_source] = ConnectionMode.MEMORY_STRICTLY
             self.metrics.memory_strictly += 1
-            connection = source.pool.acquire()
+            holder: list[Connection | None] = [None]
+
+            def attempt_single() -> Any:
+                conn = holder[0]
+                if conn is None or conn.closed:
+                    if conn is not None:
+                        source.pool.release(conn)
+                    holder[0] = conn = source.pool.acquire()
+                return conn.execute(unit.statement, unit.params)
+
             try:
-                cursor = connection.execute(unit.statement, unit.params)
+                cursor = self._run_attempts(
+                    unit.data_source, attempt_single,
+                    is_query=is_query, pinned=None, deadline=deadline,
+                )
             except BaseException:
-                source.pool.release(connection)
+                if holder[0] is not None:
+                    source.pool.release(holder[0])
                 raise
+            connection = holder[0]
+            assert connection is not None
             if is_query:
                 result.results.append(cursor)
                 result.finalizers.append(lambda: source.pool.release(connection))
@@ -161,12 +266,14 @@ class ExecutionEngine:
             self.metrics.statements += 1
             return result
 
-        futures: list[Future] = []
+        futures: list[tuple[str, Future]] = []
         for ds_name, group in groups.items():
             source = self._source(ds_name)
             pinned = (held_connections or {}).get(ds_name)
             if pinned is not None:
-                futures.append(self._pool.submit(self._run_pinned, pinned, group, is_query))
+                futures.append(
+                    (ds_name, self._pool.submit(self._run_pinned, pinned, group, is_query, deadline))
+                )
                 result.modes[ds_name] = ConnectionMode.CONNECTION_STRICTLY
                 continue
             mode = self._decide_mode(len(group))
@@ -174,26 +281,203 @@ class ExecutionEngine:
             self._emit("mode", data_source=ds_name, mode=mode.value, sqls=len(group))
             if mode is ConnectionMode.CONNECTION_STRICTLY:
                 self.metrics.connection_strictly += 1
-                futures.append(self._pool.submit(self._run_connection_strictly, source, group, is_query))
+                futures.append(
+                    (ds_name,
+                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline))
+                )
             else:
                 self.metrics.memory_strictly += 1
                 futures.append(
-                    self._pool.submit(self._run_memory_strictly, source, group, is_query, result)
+                    (ds_name,
+                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline))
                 )
 
         errors: list[BaseException] = []
-        for future in futures:
+        soft_failures: list[tuple[str, BaseException]] = []
+        succeeded = 0
+        for ds_name, future in futures:
             try:
                 shard_results, update_count = future.result()
                 result.results.extend(shard_results)
                 result.update_count += update_count
+                succeeded += 1
             except BaseException as exc:  # propagate after draining all futures
-                errors.append(exc)
-        if errors:
+                if allow_partial and isinstance(
+                    exc, (DataSourceUnavailableError, CircuitBreakerOpenError)
+                ):
+                    soft_failures.append((ds_name, exc))
+                else:
+                    errors.append(exc)
+        if errors or (soft_failures and not succeeded):
             result.release()
-            raise errors[0]
+            raise (errors or [exc for _, exc in soft_failures])[0]
+        if soft_failures:
+            result.partial_results = True
+            for ds_name, exc in soft_failures:
+                if ds_name not in result.skipped_sources:
+                    result.skipped_sources.append(ds_name)
+                self.metrics.skipped_units += 1
+                self.metrics.bump(ds_name, "skipped")
+                self._emit("degraded", data_source=ds_name, error=exc, route_type=route_type)
+            self.metrics.degraded_statements += 1
         self.metrics.statements += len(units)
         return result
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+
+    def _statement_deadline(self) -> float | None:
+        policy = self.resilience
+        if policy is not None and policy.statement_timeout is not None:
+            return time.monotonic() + policy.statement_timeout
+        return None
+
+    def _check_deadline(self, deadline: float | None, source_name: str) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            self.metrics.timeouts += 1
+            self.metrics.bump(source_name, "timeouts")
+            self._emit("timeout", data_source=source_name)
+            assert self.resilience is not None
+            raise DeadlineExceededError(
+                f"statement deadline of {self.resilience.statement_timeout * 1000:.0f}ms "
+                f"exceeded while executing on {source_name!r}"
+            )
+
+    def _source_up(self, name: str) -> bool:
+        if self.health_check is not None and not self.health_check(name):
+            return False
+        if self.breakers is not None and not self.breakers.available(name):
+            return False
+        return True
+
+    def _apply_health_filter(
+        self,
+        units: list[ExecutionUnit],
+        is_query: bool,
+        allow_partial: bool,
+        route_type: str,
+        result: ExecutionResult,
+    ) -> list[ExecutionUnit]:
+        """Skip units on DOWN sources for degradable reads; fail writes fast.
+
+        Unicast reads (broadcast-table reads, information queries — any
+        source holds the full answer) are *redirected* to a healthy source
+        instead: the result stays complete, so no partial flag.
+        """
+        if self.health_check is None:
+            return units
+        down = {u.data_source for u in units if not self._source_up(u.data_source)}
+        if not down:
+            return units
+        if not is_query:
+            raise DataSourceUnavailableError(
+                f"data source(s) {sorted(down)} are DOWN; refusing write (fail fast)"
+            )
+        if route_type == "unicast" and len(units) == 1:
+            healthy = next(
+                (name for name in self.data_sources if self._source_up(name)), None
+            )
+            if healthy is None:
+                raise DataSourceUnavailableError(
+                    f"all data sources are DOWN (unicast target {sorted(down)})"
+                )
+            unit = units[0]
+            self._emit("redirect", from_source=unit.data_source, to_source=healthy)
+            self.metrics.bump(unit.data_source, "redirects")
+            unit.data_source = healthy
+            unit.unit.data_source = healthy
+            return units
+        if not allow_partial:
+            return units  # let execution fail naturally (or retries absorb it)
+        healthy = [u for u in units if u.data_source not in down]
+        if not healthy:
+            raise DataSourceUnavailableError(
+                f"all routed data sources are DOWN: {sorted(down)}"
+            )
+        result.partial_results = True
+        result.skipped_sources = sorted(down)
+        self.metrics.degraded_statements += 1
+        self.metrics.skipped_units += len(units) - len(healthy)
+        for name in down:
+            self.metrics.bump(name, "skipped")
+        self._emit("degraded", skipped=sorted(down))
+        return healthy
+
+    def _breaker_admit(self, source_name: str) -> None:
+        if self.breakers is not None and not self.breakers.try_acquire(source_name):
+            self.metrics.breaker_rejections += 1
+            self.metrics.bump(source_name, "breaker_rejections")
+            raise CircuitBreakerOpenError(
+                f"circuit breaker for data source {source_name!r} is open"
+            )
+
+    def _record_outcome(self, source_name: str, ok: bool) -> None:
+        if self.breakers is not None:
+            if ok:
+                self.breakers.record_success(source_name)
+            else:
+                self.breakers.record_failure(source_name)
+        if not ok:
+            self.metrics.failed_units += 1
+            self.metrics.bump(source_name, "failures")
+
+    def _run_attempts(
+        self,
+        source_name: str,
+        attempt: Callable[[], Any],
+        *,
+        is_query: bool,
+        pinned: Connection | None,
+        deadline: float | None,
+    ) -> Any:
+        """Run one execution unit under the resilience policy.
+
+        ``attempt`` performs a full attempt (including any connection
+        (re-)acquisition) and returns the cursor. Retries apply only to
+        transient errors, within the deadline budget, and never to writes
+        on a pinned (in-transaction) connection.
+        """
+        policy = self.resilience
+        attempt_no = 0
+        while True:
+            self._check_deadline(deadline, source_name)
+            self._breaker_admit(source_name)
+            try:
+                value = attempt()
+            except Exception as exc:
+                self._record_outcome(source_name, ok=False)
+                retryable = policy is not None and policy.is_retryable(exc)
+                allowed = (
+                    retryable
+                    and policy is not None
+                    and attempt_no < policy.max_retries
+                    and (is_query or (policy.retry_writes and pinned is None))
+                    # A pinned (transactional) statement may only be retried
+                    # as a read on a connection that survived the fault.
+                    and (pinned is None or (is_query and not pinned.closed))
+                )
+                if not allowed:
+                    if retryable:
+                        self.metrics.giveups += 1
+                        self.metrics.bump(source_name, "giveups")
+                        self._emit("giveup", data_source=source_name, error=exc,
+                                   attempts=attempt_no + 1)
+                    raise
+                attempt_no += 1
+                self.metrics.retries += 1
+                self.metrics.bump(source_name, "retries")
+                self._emit("retry", data_source=source_name, attempt=attempt_no, error=exc)
+                assert policy is not None
+                with self._rng_lock:
+                    delay = policy.backoff(attempt_no, self._retry_rng)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            self._record_outcome(source_name, ok=True)
+            return value
 
     # ------------------------------------------------------------------
     # Modes
@@ -210,13 +494,21 @@ class ExecutionEngine:
             raise ExecutionError(f"unknown data source {name!r}") from None
 
     def _run_pinned(
-        self, connection: Connection, group: list[ExecutionUnit], is_query: bool
+        self,
+        connection: Connection,
+        group: list[ExecutionUnit],
+        is_query: bool,
+        deadline: float | None = None,
     ) -> tuple[list[ShardResult], int]:
         """Transactional path: all units run serially on the pinned connection."""
         results: list[ShardResult] = []
         update_count = 0
         for unit in group:
-            cursor = connection.execute(unit.statement, unit.params)
+            cursor = self._run_attempts(
+                unit.data_source,
+                lambda unit=unit: connection.execute(unit.statement, unit.params),
+                is_query=is_query, pinned=connection, deadline=deadline,
+            )
             self._emit("execute", data_source=unit.data_source, unit=unit)
             if is_query:
                 results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
@@ -225,7 +517,11 @@ class ExecutionEngine:
         return results, update_count
 
     def _run_connection_strictly(
-        self, source: DataSource, group: list[ExecutionUnit], is_query: bool
+        self,
+        source: DataSource,
+        group: list[ExecutionUnit],
+        is_query: bool,
+        deadline: float | None = None,
     ) -> tuple[list[ShardResult], int]:
         """θ > 1: few connections, several SQLs each, memory-loaded results.
 
@@ -238,19 +534,28 @@ class ExecutionEngine:
             buckets[i % connection_count].append(unit)
 
         def run_bucket(bucket: list[ExecutionUnit]) -> tuple[list[ShardResult], int]:
-            connection = source.pool.acquire()
+            holder: list[Connection] = [source.pool.acquire()]
             results: list[ShardResult] = []
             update_count = 0
             try:
                 for unit in bucket:
-                    cursor = connection.execute(unit.statement, unit.params)
+                    def attempt(unit: ExecutionUnit = unit) -> Any:
+                        if holder[0].closed:
+                            source.pool.release(holder[0])
+                            holder[0] = source.pool.acquire()
+                        return holder[0].execute(unit.statement, unit.params)
+
+                    cursor = self._run_attempts(
+                        unit.data_source, attempt,
+                        is_query=is_query, pinned=None, deadline=deadline,
+                    )
                     self._emit("execute", data_source=unit.data_source, unit=unit)
                     if is_query:
                         results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
                     else:
                         update_count += max(cursor.rowcount, 0)
             finally:
-                source.pool.release(connection)
+                source.pool.release(holder[0])
             return results, update_count
 
         if connection_count == 1:
@@ -270,6 +575,7 @@ class ExecutionEngine:
         group: list[ExecutionUnit],
         is_query: bool,
         result: ExecutionResult,
+        deadline: float | None = None,
     ) -> tuple[list[ShardResult], int]:
         """θ = 1: one connection per SQL, streaming cursors (stream merger)."""
         connections = self._acquire_batch(source, len(group))
@@ -282,8 +588,11 @@ class ExecutionEngine:
 
         try:
             futures = [
-                self._pool.submit(self._execute_streaming, conn, unit)
-                for conn, unit in zip(connections, group)
+                self._pool.submit(
+                    self._execute_streaming, source, connections, index, unit,
+                    is_query, deadline,
+                )
+                for index, unit in enumerate(group)
             ]
             shard_results: list[ShardResult] = []
             update_count = 0
@@ -302,8 +611,24 @@ class ExecutionEngine:
             release_all()
         return shard_results, update_count
 
-    def _execute_streaming(self, connection: Connection, unit: ExecutionUnit):
-        cursor = connection.execute(unit.statement, unit.params)
+    def _execute_streaming(
+        self,
+        source: DataSource,
+        connections: list[Connection],
+        index: int,
+        unit: ExecutionUnit,
+        is_query: bool = True,
+        deadline: float | None = None,
+    ):
+        def attempt() -> Any:
+            if connections[index].closed:
+                source.pool.release(connections[index])
+                connections[index] = source.pool.acquire()
+            return connections[index].execute(unit.statement, unit.params)
+
+        cursor = self._run_attempts(
+            unit.data_source, attempt, is_query=is_query, pinned=None, deadline=deadline
+        )
         self._emit("execute", data_source=unit.data_source, unit=unit)
         return cursor
 

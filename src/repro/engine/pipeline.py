@@ -19,6 +19,7 @@ from ..storage import Connection, DataSource
 from .context import StatementContext, build_context
 from .executor import ConnectionMode, ExecutionEngine, ExecutionResult
 from .merger import MergedResult, MergeSpec, merge
+from .resilience import REROUTABLE_ERRORS, ResiliencePolicy
 from .rewriter import ExecutionUnit, RewriteResult, rewrite
 from .router import RouteResult, route
 
@@ -62,6 +63,9 @@ class EngineResult:
     modes: dict[str, ConnectionMode] = field(default_factory=dict)
     merger_kind: str = ""
     units: list[ExecutionUnit] = field(default_factory=list)
+    #: True when DOWN sources were skipped (graceful degradation)
+    partial_results: bool = False
+    skipped_sources: list[str] = field(default_factory=list)
 
     @property
     def sqls(self) -> list[str]:
@@ -93,6 +97,7 @@ class SQLEngine:
         features: Sequence[Feature] = (),
         worker_threads: int = 32,
         enable_federation: bool = True,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.enable_federation = enable_federation
         # Keep the caller's dict by reference: DistSQL REGISTER RESOURCE
@@ -104,6 +109,7 @@ class SQLEngine:
             self.data_sources,
             max_connections_per_query=max_connections_per_query,
             worker_threads=worker_threads,
+            resilience=resilience,
         )
         self._parse_cache: dict[str, ast.Statement] = {}
 
@@ -163,7 +169,50 @@ class SQLEngine:
         held_connections: Mapping[str, Connection] | None = None,
         hint_values: Sequence[Any] | None = None,
     ) -> EngineResult:
-        """Run one logical statement through the full pipeline."""
+        """Run one logical statement through the full pipeline.
+
+        With a :class:`ResiliencePolicy` attached, idempotent reads that
+        fail with a re-routable error (transient fault, source DOWN,
+        breaker open) re-enter the pipeline from routing: health-aware
+        routing then picks a different replica, turning a replica outage
+        into extra latency instead of an error.
+        """
+        reroutes = 0
+        while True:
+            try:
+                return self._execute_once(sql, params, held_connections, hint_values)
+            except REROUTABLE_ERRORS as exc:
+                if not self._can_reroute(sql, held_connections, reroutes):
+                    raise
+                reroutes += 1
+                self.executor.metrics.reroutes += 1
+                self.executor._emit("reroute", attempt=reroutes, error=exc)
+
+    def _can_reroute(
+        self,
+        sql: str | ast.Statement,
+        held_connections: Mapping[str, Connection] | None,
+        reroutes: int,
+    ) -> bool:
+        policy = self.executor.resilience
+        if policy is None or reroutes >= policy.max_reroutes:
+            return False
+        if held_connections is not None:
+            return False  # pinned to a transaction's connections
+        # Only re-parsed statements re-enter cleanly (rewrite mutates ASTs
+        # in place, so a caller-supplied AST cannot be safely re-routed).
+        if not isinstance(sql, str):
+            return False
+        statement = self._parse_cached(sql)
+        return isinstance(statement, ast.SelectStatement) and not statement.for_update
+
+    def _execute_once(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any] = (),
+        held_connections: Mapping[str, Connection] | None = None,
+        hint_values: Sequence[Any] | None = None,
+    ) -> EngineResult:
         if isinstance(sql, str):
             statement = self._parse_cached(sql)
             sql_text = sql
@@ -195,7 +244,9 @@ class SQLEngine:
 
         is_query = isinstance(statement, ast.SelectStatement)
         try:
-            execution = self.executor.execute(units, is_query, held_connections)
+            execution = self.executor.execute(
+                units, is_query, held_connections, route_type=route_result.route_type
+            )
         except Exception as exc:
             for feature in self.features:
                 feature.on_error(exc, context)
@@ -208,6 +259,8 @@ class SQLEngine:
             unit_count=len(units),
             modes=dict(execution.modes),
             units=list(units),
+            partial_results=execution.partial_results,
+            skipped_sources=list(execution.skipped_sources),
         )
         if is_query:
             spec = rewrite_result.merge_spec or MergeSpec(is_query=True, single_node=True)

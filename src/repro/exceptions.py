@@ -50,7 +50,27 @@ class TypeCheckError(StorageError):
 
 
 class ConnectionPoolExhaustedError(StorageError):
-    """No connection could be acquired from the pool within the timeout."""
+    """No connection could be acquired from the pool within the timeout.
+
+    Carries the pool diagnostics (``pool_name``, ``in_use``, ``max_size``,
+    ``waited`` seconds) so callers and logs can tell saturation apart from
+    leaks without reparsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pool_name: str | None = None,
+        in_use: int | None = None,
+        max_size: int | None = None,
+        waited: float | None = None,
+    ):
+        super().__init__(message)
+        self.pool_name = pool_name
+        self.in_use = in_use
+        self.max_size = max_size
+        self.waited = waited
 
 
 class ConnectionClosedError(StorageError):
@@ -79,6 +99,32 @@ class MergeError(ShardingSphereError):
 
 class ExecutionError(ShardingSphereError):
     """A routed statement failed during execution on a data source."""
+
+
+class TransientError(ExecutionError):
+    """A retryable backend hiccup (network jitter, deadlock victim, ...).
+
+    The resilience policy may transparently retry statements that fail
+    with this class; every other execution error is considered permanent.
+    """
+
+
+class ConnectionDropError(TransientError):
+    """The server dropped the connection mid-statement (retryable on a
+    fresh connection)."""
+
+
+class DataSourceUnavailableError(ExecutionError):
+    """The data source is down (crashed / injected outage).
+
+    Not transparently retried against the same source: recovery is the
+    job of health-aware routing (replica reads, broadcast degradation)
+    and the per-source circuit breakers.
+    """
+
+
+class DeadlineExceededError(ExecutionError):
+    """The statement's deadline/timeout budget ran out before completion."""
 
 
 class TransactionError(ShardingSphereError):

@@ -3,82 +3,86 @@
 Both are request-admission guards plugged in at ``on_context`` (the
 earliest pipeline hook), so rejected statements cost nothing downstream.
 
-- :class:`CircuitBreakerFeature`: CLOSED -> OPEN after N consecutive
-  failures; OPEN rejects instantly; after a cooldown it lets one probe
-  through (HALF_OPEN) and closes again on success.
+The breaker state machine itself lives in :mod:`repro.engine.resilience`
+(:class:`CircuitBreaker`, with the single-in-flight-probe HALF_OPEN
+protocol, and :class:`BreakerRegistry` for per-data-source breakers keyed
+by route target — those are what the execution engine consults per unit).
+This module re-exports them and provides:
+
+- :class:`CircuitBreakerFeature`: one global breaker guarding the whole
+  pipeline (the original coarse behaviour, kept for simple deployments);
 - :class:`ThrottleFeature`: token-bucket rate limiter.
 """
 
 from __future__ import annotations
 
-import enum
 import threading
 import time
 
 from ..engine.context import StatementContext
 from ..engine.pipeline import EngineResult, Feature
+from ..engine.resilience import BreakerRegistry, CircuitBreaker, CircuitState
 from ..exceptions import CircuitBreakerOpenError, ThrottledError
 
-
-class CircuitState(enum.Enum):
-    CLOSED = "closed"
-    OPEN = "open"
-    HALF_OPEN = "half_open"
+__all__ = [
+    "CircuitBreaker",
+    "CircuitState",
+    "BreakerRegistry",
+    "CircuitBreakerFeature",
+    "ThrottleFeature",
+]
 
 
 class CircuitBreakerFeature(Feature):
-    """Trip after consecutive failures; recover through a probe request."""
+    """One global breaker guarding the whole pipeline (coarse guard).
+
+    For per-data-source breaking use a :class:`ResiliencePolicy` on the
+    engine instead — the executor then keys breakers by route target.
+    """
 
     name = "circuit_breaker"
 
     def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0):
-        self.failure_threshold = failure_threshold
-        self.reset_timeout = reset_timeout
-        self.state = CircuitState.CLOSED
-        self._failures = 0
-        self._opened_at = 0.0
-        self._lock = threading.Lock()
+        self.breaker = CircuitBreaker(failure_threshold, reset_timeout, name="global")
 
-    # Manual controls (DistSQL RAL can force these).
+    # The feature keeps exposing the breaker's knobs and state directly.
+
+    @property
+    def failure_threshold(self) -> int:
+        return self.breaker.failure_threshold
+
+    @property
+    def reset_timeout(self) -> float:
+        return self.breaker.reset_timeout
+
+    @property
+    def state(self) -> CircuitState:
+        return self.breaker.state
+
     def trip(self) -> None:
-        with self._lock:
-            self.state = CircuitState.OPEN
-            self._opened_at = time.monotonic()
+        self.breaker.trip()
 
     def reset(self) -> None:
-        with self._lock:
-            self.state = CircuitState.CLOSED
-            self._failures = 0
+        self.breaker.reset()
+
+    def record_success(self) -> None:
+        self.breaker.record_success()
+
+    def record_failure(self) -> None:
+        self.breaker.record_failure()
 
     def on_context(self, context: StatementContext) -> None:
-        with self._lock:
-            if self.state is CircuitState.OPEN:
-                if time.monotonic() - self._opened_at >= self.reset_timeout:
-                    self.state = CircuitState.HALF_OPEN
-                else:
-                    raise CircuitBreakerOpenError(
-                        f"circuit open; retry in "
-                        f"{self.reset_timeout - (time.monotonic() - self._opened_at):.1f}s"
-                    )
+        if not self.breaker.try_acquire():
+            raise CircuitBreakerOpenError(
+                "circuit open; retry after the cooldown (probe in flight or "
+                f"{self.breaker.reset_timeout:.1f}s reset timeout not elapsed)"
+            )
 
     def on_result(self, result: EngineResult, context: StatementContext) -> None:
         self.record_success()
 
     def on_error(self, error: Exception, context: StatementContext) -> None:
         self.record_failure()
-
-    def record_success(self) -> None:
-        with self._lock:
-            self._failures = 0
-            if self.state is CircuitState.HALF_OPEN:
-                self.state = CircuitState.CLOSED
-
-    def record_failure(self) -> None:
-        with self._lock:
-            self._failures += 1
-            if self.state is CircuitState.HALF_OPEN or self._failures >= self.failure_threshold:
-                self.state = CircuitState.OPEN
-                self._opened_at = time.monotonic()
 
 
 class ThrottleFeature(Feature):

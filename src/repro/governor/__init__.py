@@ -1,7 +1,14 @@
 """Governor: configuration management + health detection (Section V)."""
 
 from .config import ConfigCenter
-from .health import HealthDetector, ReplicaGroup
+from .health import FailoverEvent, HealthDetector, ReplicaGroup
 from .registry import Registry, Session
 
-__all__ = ["Registry", "Session", "ConfigCenter", "HealthDetector", "ReplicaGroup"]
+__all__ = [
+    "Registry",
+    "Session",
+    "ConfigCenter",
+    "HealthDetector",
+    "ReplicaGroup",
+    "FailoverEvent",
+]

@@ -14,6 +14,7 @@ goes down, rewriting the group config so the system keeps working.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -28,6 +29,22 @@ class ReplicaGroup:
     name: str
     primary: str
     replicas: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One recorded primary promotion, with its detection-to-promotion lag."""
+
+    group: str
+    old_primary: str
+    new_primary: str
+    detected_at: float
+    promoted_at: float
+
+    @property
+    def latency(self) -> float:
+        """Seconds between DOWN detection and the replacement promotion."""
+        return self.promoted_at - self.detected_at
 
 
 class HealthDetector:
@@ -47,7 +64,10 @@ class HealthDetector:
         self.interval = interval
         self.prober = prober or _default_probe
         self.failover_listeners: list[Callable[[str, str, str], None]] = []
+        #: promotion history with detection->promotion latency per event
+        self.failover_events: list[FailoverEvent] = []
         self._down: set[str] = set()
+        self._down_since: dict[str, float] = {}
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -88,8 +108,11 @@ class HealthDetector:
                 was_down = name in self._down
                 if healthy:
                     self._down.discard(name)
+                    self._down_since.pop(name, None)
                 else:
                     self._down.add(name)
+                    if not was_down:
+                        self._down_since[name] = time.monotonic()
             if not healthy and not was_down:
                 self._handle_failure(name)
         return statuses
@@ -114,6 +137,17 @@ class HealthDetector:
                 "readwrite_splitting",
                 group.name,
                 {"primary": group.primary, "replicas": group.replicas},
+            )
+            with self._lock:
+                detected_at = self._down_since.get(name, time.monotonic())
+            self.failover_events.append(
+                FailoverEvent(
+                    group=group.name,
+                    old_primary=old_primary,
+                    new_primary=new_primary,
+                    detected_at=detected_at,
+                    promoted_at=time.monotonic(),
+                )
             )
             for listener in self.failover_listeners:
                 listener(group.name, old_primary, new_primary)

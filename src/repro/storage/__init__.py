@@ -10,6 +10,7 @@ from .connection import Connection, Cursor
 from .database import Database
 from .engine import DataSource
 from .executor import QueryResult, execute_statement
+from .faults import FaultInjector, FaultKind, FaultProfile
 from .latency import LatencyModel
 from .pool import ConnectionPool
 from .schema import Column, TableSchema
@@ -35,4 +36,7 @@ __all__ = [
     "commit_prepared",
     "rollback_prepared",
     "LatencyModel",
+    "FaultInjector",
+    "FaultKind",
+    "FaultProfile",
 ]

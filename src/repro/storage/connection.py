@@ -17,7 +17,7 @@ import itertools
 import threading
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
-from ..exceptions import ConnectionClosedError, TransactionError
+from ..exceptions import ConnectionClosedError, ConnectionDropError, TransactionError
 from ..sql import ast, parse
 from .executor import QueryResult, execute_statement
 from .latency import pay
@@ -149,7 +149,13 @@ class Connection:
             self.rollback()
             return QueryResult(rowcount=0)
 
-        self.database.maybe_fail("statement")
+        try:
+            self.database.maybe_fail("statement")
+        except ConnectionDropError:
+            # The "server" dropped us: this session is dead. close() rolls
+            # back any open transaction; the pool discards closed conns.
+            self.close()
+            raise
         if stmt.category in ("DML", "DDL"):
             with self._lock:
                 implicit = False

@@ -34,6 +34,9 @@ class Database:
         self._lock = threading.RLock()
         self._prepared: dict[str, Any] = {}
         self._fail_on: dict[str, int] = {}
+        #: optional probabilistic chaos source (see :mod:`repro.storage.faults`);
+        #: set via ``DataSource.set_fault_injector`` and shared fleet-wide.
+        self.fault_injector: Any | None = None
 
     # -- failure injection (tests / recovery experiments) ------------------
 
@@ -51,6 +54,10 @@ class Database:
             if remaining > 0:
                 self._fail_on[operation] = remaining - 1
                 raise ExecutionError(f"injected failure on {operation} in database {self.name!r}")
+        injector = self.fault_injector
+        if injector is not None:
+            # Outside the database lock: latency faults sleep.
+            injector.on_operation(self.name, operation)
 
     # -- locking -------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from .latency import LatencyModel, pay
 from .pool import ConnectionPool
 
 if TYPE_CHECKING:
-    pass
+    from .faults import FaultInjector
 
 
 class DataSource:
@@ -49,6 +49,16 @@ class DataSource:
         # Lock used by the automatic execution engine for atomic multi-
         # connection acquisition (deadlock avoidance, Section VI-D).
         self.acquisition_lock = threading.Lock()
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Attach (or detach, with None) a chaos source to this server."""
+        self.database.fault_injector = injector
+
+    @property
+    def fault_injector(self) -> "FaultInjector | None":
+        return self.database.fault_injector
 
     # -- connections ------------------------------------------------------
 

@@ -48,7 +48,8 @@ class ConnectionPool:
 
     def acquire(self, timeout: float = 10.0) -> "Connection":
         """Acquire one connection, waiting up to ``timeout`` seconds."""
-        deadline = time.monotonic() + timeout
+        start = time.monotonic()
+        deadline = start + timeout
         with self._available:
             while True:
                 conn = self._try_take_locked()
@@ -56,9 +57,15 @@ class ConnectionPool:
                     return conn
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    waited = time.monotonic() - start
                     raise ConnectionPoolExhaustedError(
-                        f"pool for {self.data_source.name!r} exhausted "
-                        f"({self.max_size} connections in use)"
+                        f"connection pool {self.data_source.name!r} exhausted: "
+                        f"{self._in_use}/{self.max_size} connections in use, "
+                        f"waited {waited * 1000:.0f}ms",
+                        pool_name=self.data_source.name,
+                        in_use=self._in_use,
+                        max_size=self.max_size,
+                        waited=waited,
                     )
                 self._available.wait(remaining)
 

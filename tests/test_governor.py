@@ -200,3 +200,22 @@ class TestHealthDetector:
         detector.check_once()  # injection consumed; healthy again
         assert detector.is_up("r1")
         assert cc.get_status("datasource/r1") == "UP"
+
+    def test_failover_event_records_latency(self):
+        group = ReplicaGroup("g0", primary="p0", replicas=["r0", "r1"])
+        sources, cc, detector = self.make(groups=[group])
+        sources["p0"].database.fail_next("statement", times=100)
+        detector.check_once()
+        assert len(detector.failover_events) == 1
+        event = detector.failover_events[0]
+        assert event.group == "g0"
+        assert event.old_primary == "p0"
+        assert event.new_primary == "r0"
+        assert event.promoted_at >= event.detected_at
+        assert 0.0 <= event.latency < 5.0
+
+    def test_no_failover_event_without_promotion(self):
+        sources, cc, detector = self.make()  # no groups configured
+        sources["r0"].database.fail_next("statement", times=100)
+        detector.check_once()
+        assert detector.failover_events == []
