@@ -18,6 +18,7 @@ from ..engine.router import route
 from ..exceptions import DistSQLError, ShardingConfigError
 from ..features import ReadWriteGroup, ReadWriteSplittingFeature
 from ..governor import ConfigCenter
+from ..observability import Observability
 from ..sharding import ShardingRule
 from ..sql import parse
 from ..sql.dialects import get_dialect
@@ -56,10 +57,17 @@ class ShardingRuntime:
         )
         #: Governor health detector, once attached (health-aware routing)
         self.health_detector = None
+        #: tracer + metrics registry + slow-query log (the Agent analogue);
+        #: the tracer stays disabled until SET VARIABLE tracing = on (or a
+        #: one-shot TRACE), so the hot path only pays the stage histograms.
+        self.observability = Observability()
+        self.engine.attach_observability(self.observability)
         self.transaction_manager = TransactionManager(self.data_sources, transaction_type)
         self.variables: dict[str, Any] = {
             "transaction_type": transaction_type.value,
             "max_connections_per_query": max_connections_per_query,
+            "tracing": "OFF",
+            "slow_query_threshold_ms": self.observability.slow_log.threshold * 1000.0,
         }
         self._rwsplit_feature: ReadWriteSplittingFeature | None = None
         for name, source in self.data_sources.items():
@@ -112,6 +120,7 @@ class ShardingRuntime:
         if self.rule.default_data_source is None:
             self.rule.default_data_source = name
         self.config_center.register_data_source(name, {"dialect": dialect.name})
+        self.observability.watch_pool(name, source.pool)
         return source
 
     def add_resource(self, name: str, source: DataSource) -> None:
@@ -120,6 +129,7 @@ class ShardingRuntime:
         if self.rule.default_data_source is None:
             self.rule.default_data_source = name
         self.config_center.register_data_source(name, {"dialect": source.dialect.name})
+        self.observability.watch_pool(name, source.pool)
 
     def unregister_resource(self, name: str) -> None:
         source = self.data_sources.pop(name, None)
@@ -147,6 +157,16 @@ class ShardingRuntime:
                 raise DistSQLError("max_connections_per_query must be >= 1")
             self.engine.executor.max_connections_per_query = count
             self.variables[name] = count
+        elif name == "tracing":
+            enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
+            self.observability.tracer.enabled = enabled
+            self.variables[name] = "ON" if enabled else "OFF"
+        elif name == "slow_query_threshold_ms":
+            millis = float(value)
+            if millis < 0:
+                raise DistSQLError("slow_query_threshold_ms must be >= 0")
+            self.observability.slow_log.threshold = millis / 1000.0
+            self.variables[name] = millis
         else:
             self.variables[name] = value
         self.config_center.set_prop(name, self.variables[name])

@@ -29,7 +29,6 @@ from typing import Any, Sequence
 
 from ..adaptors import ShardingDataSource, ShardingProxyServer, ShardingRuntime
 from ..protocol import ProxyClient
-from ..sharding import ShardingRule
 from ..storage import DataSource, LatencyModel
 from ..transaction import TransactionType
 from .base import SystemUnderTest

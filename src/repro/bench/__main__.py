@@ -12,6 +12,7 @@ under test and prints the paper-style row. Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..baselines import (
@@ -59,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-seed", type=int, default=7)
     parser.add_argument("--chaos-transient-rate", type=float, default=0.02,
                         help="per-statement transient fault probability")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-stage latency histograms during the "
+                             "measured run, print the breakdown and write "
+                             "BENCH_profile.json")
+    parser.add_argument("--profile-output", default="BENCH_profile.json",
+                        help="where --profile writes its JSON report")
     return parser
 
 
@@ -89,6 +96,59 @@ def enable_chaos(system, args: argparse.Namespace):
         ResiliencePolicy(max_retries=4, retry_writes=True, seed=args.chaos_seed)
     )
     return injector
+
+
+def enable_profile(system, args: argparse.Namespace):
+    """Attach a fresh Observability to the system's runtime (post-prepare).
+
+    A new registry means the stage histograms cover only the measured run,
+    not data loading. Returns the Observability, or None when the system
+    has no sharding runtime to instrument.
+    """
+    runtime = getattr(system, "runtime", None)
+    if runtime is None:
+        print(f"warning: --profile ignored: {system.name} has no sharding runtime",
+              file=sys.stderr)
+        return None
+    from ..observability import Observability
+
+    observability = Observability()
+    observability.stage_sample_every = 1  # profiling: exact histograms
+    runtime.observability = observability
+    runtime.engine.attach_observability(observability)
+    return observability
+
+
+def print_profile_report(system, observability, measurement, args) -> None:
+    profile = observability.stage_profile()
+    rows = [
+        (stage, int(stats["count"]), round(stats["avg"] * 1000, 3),
+         round(stats["p50"] * 1000, 3), round(stats["p95"] * 1000, 3),
+         round(stats["p99"] * 1000, 3))
+        for stage, stats in profile.items()
+    ]
+    print(format_table(
+        ["Stage", "Count", "Avg(ms)", "p50(ms)", "p95(ms)", "p99(ms)"], rows
+    ))
+    sources = {
+        labels.get("source", "-"): value
+        for labels, value in observability.registry.get("storage_queries_total").samples()
+    }
+    payload = {
+        "system": measurement.system,
+        "scenario": measurement.scenario,
+        "transactions": measurement.transactions,
+        "errors": measurement.errors,
+        "tps": round(measurement.tps, 2),
+        "avg_ms": round(measurement.avg_ms, 3),
+        "p99_ms": round(measurement.p99_ms, 3),
+        "stages": profile,
+        "per_source_queries": sources,
+    }
+    with open(args.profile_output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"profile written to {args.profile_output}")
 
 
 def print_chaos_report(system, injector) -> None:
@@ -141,6 +201,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"preparing {args.system} with {args.table_size} rows ...", file=sys.stderr)
         workload.prepare(system)
         injector = enable_chaos(system, args) if args.chaos else None
+        observability = enable_profile(system, args) if args.profile else None
         try:
             measurement = run_benchmark(
                 system,
@@ -155,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
               f"scenario={args.scenario}, threads={args.threads})")
         if injector is not None:
             print_chaos_report(system, injector)
+        if observability is not None:
+            print_profile_report(system, observability, measurement, args)
         return 0
 
     workload = TPCCWorkload(TPCCConfig(warehouses=args.warehouses))
@@ -164,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"preparing TPC-C with {args.warehouses} warehouses ...", file=sys.stderr)
     workload.prepare(system)
     injector = enable_chaos(system, args) if args.chaos else None
+    observability = enable_profile(system, args) if args.profile else None
     try:
         measurement = run_benchmark(
             system,
@@ -180,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
           f"threads={args.threads})")
     if injector is not None:
         print_chaos_report(system, injector)
+    if observability is not None:
+        print_profile_report(system, observability, measurement, args)
     return 0
 
 

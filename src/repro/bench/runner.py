@@ -101,7 +101,7 @@ def run_benchmark(
                 start = time.perf_counter()
                 try:
                     transaction(session, rng)
-                except Exception as exc:
+                except Exception:
                     local_errors += 1
                     if local_errors > max_errors:
                         raise

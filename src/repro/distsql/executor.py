@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from ..exceptions import DistSQLError, ShardingConfigError
+from ..observability.metrics import Histogram, MetricsRegistry, like_to_matcher
 from ..sharding import ShardingRule, available_algorithms, build_auto_table_rule
 from ..storage import DataSource
 from . import parser as p
@@ -170,6 +171,47 @@ def _create_rwsplit(stmt: p.CreateReadwriteSplittingRule, runtime: Runtime) -> D
 # RQL
 # ---------------------------------------------------------------------------
 
+_METRIC_COLUMNS = ["metric", "labels", "kind", "value", "avg", "p50", "p95", "p99"]
+
+
+def _metric_rows(registry: MetricsRegistry, pattern: str) -> list[tuple[Any, ...]]:
+    """One row per (family, label set); histograms expand to percentiles.
+
+    Counter/gauge rows carry the value; histogram rows carry the
+    observation count as value plus avg/p50/p95/p99 (in the metric's base
+    unit, i.e. seconds for latency histograms).
+    """
+    matcher = like_to_matcher(pattern)
+    rows: list[tuple[Any, ...]] = []
+    for name, kind, _help, samples in registry.collect():
+        if not matcher(name):
+            continue
+        if kind == "histogram":
+            family = registry.get(name)
+            if isinstance(family, Histogram):
+                for labels in family.label_sets():
+                    stats = family.stats(**labels)
+                    rows.append(
+                        (
+                            name,
+                            _labels_text(labels),
+                            kind,
+                            int(stats["count"]),
+                            round(stats["avg"], 6),
+                            round(stats["p50"], 6),
+                            round(stats["p95"], 6),
+                            round(stats["p99"], 6),
+                        )
+                    )
+                continue
+        for labels, value in samples:
+            rows.append((name, _labels_text(labels), kind, value, "", "", "", ""))
+    return rows
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
 
 def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
     if stmt.subject == "resources":
@@ -211,12 +253,79 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             message="no resilience policy enabled" if breakers is None else "OK",
         )
     if stmt.subject == "execution_metrics":
+        # Compatibility alias: same counters as SHOW METRICS LIKE
+        # 'executor_%' (one source of truth, the executor's ExecutionMetrics
+        # folded into the registry as a collector).
         engine = getattr(runtime, "engine", None)
         if engine is None:
             return DistSQLResult(columns=["metric", "value"], rows=[])
         snapshot = engine.executor.metrics.snapshot()
         rows = [(key, snapshot[key]) for key in sorted(snapshot)]
-        return DistSQLResult(columns=["metric", "value"], rows=rows)
+        return DistSQLResult(
+            columns=["metric", "value"], rows=rows,
+            message="alias of SHOW METRICS LIKE 'executor_%'",
+        )
+    if stmt.subject == "metrics":
+        observability = getattr(runtime, "observability", None)
+        if observability is None:
+            return DistSQLResult(
+                columns=_METRIC_COLUMNS, rows=[], message="no observability attached"
+            )
+        return DistSQLResult(
+            columns=_METRIC_COLUMNS,
+            rows=_metric_rows(observability.registry, stmt.pattern),
+        )
+    if stmt.subject == "traces":
+        observability = getattr(runtime, "observability", None)
+        traces = observability.tracer.recent() if observability is not None else []
+        rows = [
+            (
+                trace.trace_id,
+                trace.name,
+                round(trace.wall * 1000, 3),
+                round(trace.simulated * 1000, 3),
+                len(trace.spans),
+                trace.error or "",
+            )
+            for trace in traces
+        ]
+        message = "OK"
+        if observability is not None and not observability.tracer.enabled and not rows:
+            message = "tracing is disabled; SET VARIABLE tracing = on, or use TRACE <sql>"
+        return DistSQLResult(
+            columns=["trace_id", "sql", "wall_ms", "simulated_ms", "spans", "error"],
+            rows=rows,
+            message=message,
+        )
+    if stmt.subject == "slow_queries":
+        observability = getattr(runtime, "observability", None)
+        entries = observability.slow_log.entries() if observability is not None else []
+        rows = [
+            (
+                entry.trace_id,
+                entry.kind,
+                entry.sql,
+                round(entry.wall * 1000, 3),
+                round(entry.simulated * 1000, 3),
+                entry.route_type,
+                entry.spans,
+                entry.error or "",
+            )
+            for entry in entries
+        ]
+        message = "OK"
+        if observability is not None and not rows:
+            threshold_ms = observability.slow_log.threshold * 1000
+            message = (
+                f"no slow queries recorded (threshold {threshold_ms:g}ms; "
+                "traced statements only)"
+            )
+        return DistSQLResult(
+            columns=["trace_id", "kind", "sql", "wall_ms", "simulated_ms",
+                     "route_type", "spans", "error"],
+            rows=rows,
+            message=message,
+        )
     if stmt.subject == "failovers":
         detector = getattr(runtime, "health_detector", None)
         events = detector.failover_events if detector is not None else []
@@ -236,7 +345,12 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
 # RAL
 # ---------------------------------------------------------------------------
 
-_KNOWN_VARIABLES = {"transaction_type", "max_connections_per_query"}
+_KNOWN_VARIABLES = {
+    "transaction_type",
+    "max_connections_per_query",
+    "tracing",
+    "slow_query_threshold_ms",
+}
 
 
 def _set_variable(stmt: p.SetVariable, runtime: Runtime) -> DistSQLResult:
@@ -256,6 +370,33 @@ def _show_variable(stmt: p.ShowVariable, runtime: Runtime) -> DistSQLResult:
 def _preview(stmt: p.Preview, runtime: Runtime) -> DistSQLResult:
     rows = runtime.preview(stmt.sql)
     return DistSQLResult(columns=["data_source", "actual_sql"], rows=list(rows))
+
+
+def _trace(stmt: p.TraceStatement, runtime: Runtime) -> DistSQLResult:
+    """Execute the statement with a one-shot trace; rows are the span tree."""
+    engine = getattr(runtime, "engine", None)
+    if engine is None:
+        raise DistSQLError("TRACE requires a runtime with a SQL engine")
+    if getattr(engine, "observability", None) is None:
+        raise DistSQLError("TRACE requires observability attached to the engine")
+    result = engine.execute(stmt.sql, force_trace=True)
+    if result.is_query:
+        consumed = len(result.fetchall())
+        outcome = f"{consumed} row(s)"
+    else:
+        outcome = f"{result.update_count} row(s) updated"
+    trace = result.trace
+    if trace is None:  # defensive: engine without tracer support
+        raise DistSQLError("engine did not produce a trace")
+    rows = list(trace.tree_rows())
+    return DistSQLResult(
+        columns=["span", "wall_ms", "simulated_ms", "detail"],
+        rows=rows,
+        message=(
+            f"trace #{trace.trace_id}: {outcome}, route={result.route_type}, "
+            f"wall {trace.wall * 1000:.3f}ms, simulated {trace.simulated * 1000:.3f}ms"
+        ),
+    )
 
 
 def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
@@ -331,5 +472,6 @@ _HANDLERS = {
     p.SetVariable: _set_variable,
     p.ShowVariable: _show_variable,
     p.Preview: _preview,
+    p.TraceStatement: _trace,
     p.MigrateTable: _migrate_table,
 }

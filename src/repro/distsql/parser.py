@@ -26,14 +26,18 @@ RQL (Resource & Rule Query Language)::
     SHOW BROADCAST TABLE RULES
     SHOW SHARDING ALGORITHMS
     SHOW CIRCUIT BREAKERS
-    SHOW EXECUTION METRICS
+    SHOW EXECUTION METRICS          -- alias of SHOW METRICS LIKE 'executor_%'
     SHOW FAILOVER EVENTS
+    SHOW METRICS [LIKE 'engine_%']
+    SHOW TRACES
+    SHOW SLOW QUERIES
 
 RAL (Resource & Rule Administration Language)::
 
     SET VARIABLE transaction_type = XA
     SHOW VARIABLE transaction_type
     PREVIEW SELECT * FROM t_user WHERE uid = 1
+    TRACE SELECT * FROM t_user WHERE uid = 1
     MIGRATE TABLE t_user (RESOURCES(ds2, ds3), SHARDING_COLUMN=uid,
                           TYPE=hash_mod, PROPERTIES('sharding-count'=8))
 """
@@ -112,6 +116,8 @@ class CreateReadwriteSplittingRule(DistSQLStatement):
 class ShowStatement(DistSQLStatement):
     language = "RQL"
     subject: str = ""  # resources | sharding_rules | binding_rules | broadcast_rules | algorithms
+    #: optional SQL LIKE filter (SHOW METRICS LIKE 'engine_%')
+    pattern: str = ""
 
 
 @dataclass
@@ -129,6 +135,14 @@ class ShowVariable(DistSQLStatement):
 
 @dataclass
 class Preview(DistSQLStatement):
+    language = "RAL"
+    sql: str = ""
+
+
+@dataclass
+class TraceStatement(DistSQLStatement):
+    """Execute one statement with a one-shot trace and show the span tree."""
+
     language = "RAL"
     sql: str = ""
 
@@ -164,8 +178,12 @@ _DIST_PREFIXES = (
     "SHOW CIRCUIT",
     "SHOW EXECUTION",
     "SHOW FAILOVER",
+    "SHOW METRICS",
+    "SHOW TRACES",
+    "SHOW SLOW",
     "SET VARIABLE",
     "PREVIEW",
+    "TRACE ",
     "MIGRATE TABLE",
 )
 
@@ -178,11 +196,18 @@ def is_distsql(sql: str) -> bool:
 
 def parse_distsql(sql: str) -> DistSQLStatement:
     """Parse one DistSQL statement."""
-    if sql.strip().upper().startswith("PREVIEW"):
-        inner = sql.strip()[len("PREVIEW"):].strip().rstrip(";")
+    head = sql.strip()
+    upper = head.upper()
+    if upper.startswith("PREVIEW"):
+        inner = head[len("PREVIEW"):].strip().rstrip(";")
         if not inner:
             raise DistSQLError("PREVIEW requires a SQL statement")
         return Preview(sql=inner)
+    if upper.startswith("TRACE "):
+        inner = head[len("TRACE"):].strip().rstrip(";")
+        if not inner:
+            raise DistSQLError("TRACE requires a SQL statement")
+        return TraceStatement(sql=inner)
     return _Parser(sql).parse()
 
 
@@ -413,4 +438,14 @@ class _Parser:
         if self._accept_word("FAILOVER"):
             self._accept_word("EVENTS")
             return ShowStatement(subject="failovers")
+        if self._accept_word("METRICS"):
+            pattern = ""
+            if self._accept_word("LIKE"):
+                pattern = str(self._value())
+            return ShowStatement(subject="metrics", pattern=pattern)
+        if self._accept_word("TRACES"):
+            return ShowStatement(subject="traces")
+        if self._accept_word("SLOW"):
+            self._expect_word("QUERIES")
+            return ShowStatement(subject="slow_queries")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

@@ -41,7 +41,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..exceptions import (
     CircuitBreakerOpenError,
@@ -53,6 +53,10 @@ from ..storage import Connection, DataSource
 from .merger import MaterializedResult, ShardResult
 from .resilience import BreakerRegistry, ResiliencePolicy
 from .rewriter import ExecutionUnit
+
+if TYPE_CHECKING:
+    from ..observability import Observability
+    from ..observability.trace import Span, Trace
 
 
 class ConnectionMode(enum.Enum):
@@ -118,6 +122,37 @@ class ExecutionMetrics:
             "breaker_rejections": self.breaker_rejections,
         }
 
+    def families(self) -> list[tuple[str, str, str, list[tuple[dict[str, str], float]]]]:
+        """Metrics-registry collector: expose the counters on pull.
+
+        Keeps these plain ints on the hot path (no registry lock per
+        statement) while ``SHOW METRICS`` / the Prometheus exporter still
+        see them — one source of truth, read-through.
+        """
+        families = [
+            (
+                f"executor_{key}_total",
+                "counter",
+                f"execution engine {key.replace('_', ' ')}",
+                [({}, float(value))],
+            )
+            for key, value in self.snapshot().items()
+        ]
+        by_key: dict[str, list[tuple[dict[str, str], float]]] = {}
+        for source in sorted(self.per_source):
+            for key, value in sorted(self.per_source[source].items()):
+                by_key.setdefault(key, []).append(({"source": source}, float(value)))
+        for key in sorted(by_key):
+            families.append(
+                (
+                    f"executor_source_{key}_total",
+                    "counter",
+                    f"per data source {key.replace('_', ' ')}",
+                    by_key[key],
+                )
+            )
+        return families
+
 
 #: event hook signature: (event, payload) — events: "execute", "mode",
 #: "retry", "giveup", "timeout", "degraded", "reroute".
@@ -146,6 +181,8 @@ class ExecutionEngine:
         self.resilience: ResiliencePolicy | None = None
         self.breakers: BreakerRegistry | None = None
         self.health_check = health_check
+        #: attached by the runtime/pipeline; None = no metrics/trace cost
+        self.observability: "Observability | None" = None
         self._retry_rng = random.Random(0)
         self._rng_lock = threading.Lock()
         if resilience is not None:
@@ -183,6 +220,8 @@ class ExecutionEngine:
         is_query: bool,
         held_connections: Mapping[str, Connection] | None = None,
         route_type: str = "",
+        trace: "Trace | None" = None,
+        parent_span: "Span | None" = None,
     ) -> ExecutionResult:
         """Run all units; group per data source and pick connection modes.
 
@@ -190,7 +229,10 @@ class ExecutionEngine:
         by an open distributed transaction: statements inside a transaction
         must reuse them (and are therefore serial per data source).
         ``route_type`` lets the resilience layer know when a multi-source
-        read is a broadcast that may gracefully degrade.
+        read is a broadcast that may gracefully degrade. When ``trace`` is
+        given, one ``storage`` span per unit (child of ``parent_span``) is
+        allocated here, in routing order on the calling thread — worker
+        scheduling never changes span ids.
         """
         deadline = self._statement_deadline()
         result = ExecutionResult()
@@ -206,6 +248,18 @@ class ExecutionEngine:
         )
         units = self._apply_health_filter(units, is_query, allow_partial, route_type, result)
 
+        spans: dict[int, "Span"] | None = None
+        if trace is not None:
+            spans = {
+                id(unit): trace.start_span(
+                    "storage",
+                    parent=parent_span,
+                    data_source=unit.data_source,
+                    sql=unit.sql,
+                )
+                for unit in units
+            }
+
         groups: dict[str, list[ExecutionUnit]] = {}
         for unit in units:
             groups.setdefault(unit.data_source, []).append(unit)
@@ -215,27 +269,36 @@ class ExecutionEngine:
         # dispatch would double the per-statement cost.
         if len(units) == 1:
             unit = units[0]
+            span = spans[id(unit)] if spans is not None else None
             pinned = (held_connections or {}).get(unit.data_source)
             if pinned is not None:
+                if span is not None:
+                    span.attributes["mode"] = ConnectionMode.CONNECTION_STRICTLY.value
                 cursor = self._run_attempts(
                     unit.data_source,
-                    lambda: pinned.execute(unit.statement, unit.params),
+                    lambda: self._traced(pinned, unit, span),
                     is_query=is_query,
                     pinned=pinned,
                     deadline=deadline,
+                    span=span,
                 )
                 result.modes[unit.data_source] = ConnectionMode.CONNECTION_STRICTLY
                 if is_query:
-                    result.results.append(
-                        MaterializedResult(cursor.columns, cursor.fetchall())
-                    )
+                    rows = cursor.fetchall()
+                    if span is not None:
+                        span.attributes["rows"] = len(rows)
+                    result.results.append(MaterializedResult(cursor.columns, rows))
                 else:
                     result.update_count += max(cursor.rowcount, 0)
+                    if span is not None:
+                        span.attributes["rows"] = max(cursor.rowcount, 0)
                 self.metrics.statements += 1
                 return result
             source = self._source(unit.data_source)
             result.modes[unit.data_source] = ConnectionMode.MEMORY_STRICTLY
             self.metrics.memory_strictly += 1
+            if span is not None:
+                span.attributes["mode"] = ConnectionMode.MEMORY_STRICTLY.value
             holder: list[Connection | None] = [None]
 
             def attempt_single() -> Any:
@@ -244,12 +307,12 @@ class ExecutionEngine:
                     if conn is not None:
                         source.pool.release(conn)
                     holder[0] = conn = source.pool.acquire()
-                return conn.execute(unit.statement, unit.params)
+                return self._traced(conn, unit, span)
 
             try:
                 cursor = self._run_attempts(
                     unit.data_source, attempt_single,
-                    is_query=is_query, pinned=None, deadline=deadline,
+                    is_query=is_query, pinned=None, deadline=deadline, span=span,
                 )
             except BaseException:
                 if holder[0] is not None:
@@ -258,10 +321,20 @@ class ExecutionEngine:
             connection = holder[0]
             assert connection is not None
             if is_query:
-                result.results.append(cursor)
-                result.finalizers.append(lambda: source.pool.release(connection))
+                if span is not None:
+                    # traced statements trade streaming for a row count on
+                    # the storage span (tracing is opt-in)
+                    rows = cursor.fetchall()
+                    span.attributes["rows"] = len(rows)
+                    result.results.append(MaterializedResult(cursor.columns, rows))
+                    source.pool.release(connection)
+                else:
+                    result.results.append(cursor)
+                    result.finalizers.append(lambda: source.pool.release(connection))
             else:
                 result.update_count += max(cursor.rowcount, 0)
+                if span is not None:
+                    span.attributes["rows"] = max(cursor.rowcount, 0)
                 source.pool.release(connection)
             self.metrics.statements += 1
             return result
@@ -272,24 +345,27 @@ class ExecutionEngine:
             pinned = (held_connections or {}).get(ds_name)
             if pinned is not None:
                 futures.append(
-                    (ds_name, self._pool.submit(self._run_pinned, pinned, group, is_query, deadline))
+                    (ds_name,
+                     self._pool.submit(self._run_pinned, pinned, group, is_query, deadline, spans))
                 )
                 result.modes[ds_name] = ConnectionMode.CONNECTION_STRICTLY
+                self._annotate_mode(spans, group, ConnectionMode.CONNECTION_STRICTLY)
                 continue
             mode = self._decide_mode(len(group))
             result.modes[ds_name] = mode
+            self._annotate_mode(spans, group, mode)
             self._emit("mode", data_source=ds_name, mode=mode.value, sqls=len(group))
             if mode is ConnectionMode.CONNECTION_STRICTLY:
                 self.metrics.connection_strictly += 1
                 futures.append(
                     (ds_name,
-                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline))
+                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline, spans))
                 )
             else:
                 self.metrics.memory_strictly += 1
                 futures.append(
                     (ds_name,
-                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline))
+                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline, spans))
                 )
 
         errors: list[BaseException] = []
@@ -316,6 +392,9 @@ class ExecutionEngine:
             for ds_name, exc in soft_failures:
                 if ds_name not in result.skipped_sources:
                     result.skipped_sources.append(ds_name)
+                # diagnostics invariant: modes only lists sources that
+                # actually contributed results — drop the skipped one
+                result.modes.pop(ds_name, None)
                 self.metrics.skipped_units += 1
                 self.metrics.bump(ds_name, "skipped")
                 self._emit("degraded", data_source=ds_name, error=exc, route_type=route_type)
@@ -421,6 +500,38 @@ class ExecutionEngine:
         if not ok:
             self.metrics.failed_units += 1
             self.metrics.bump(source_name, "failures")
+        obs = self.observability
+        if obs is not None:
+            obs.on_source_attempt(source_name, ok)
+
+    @staticmethod
+    def _traced(connection: Connection, unit: ExecutionUnit, span: "Span | None") -> Any:
+        """Execute one unit, lending the span to the connection meanwhile.
+
+        The connection attributes latency-model sleeps and lock waits to
+        ``trace_span`` while it is set; clearing it restores the class
+        default (None), keeping untraced connections attribute-free.
+        """
+        if span is None:
+            return connection.execute(unit.statement, unit.params)
+        connection.trace_span = span
+        try:
+            return connection.execute(unit.statement, unit.params)
+        finally:
+            del connection.trace_span
+
+    @staticmethod
+    def _annotate_mode(
+        spans: "dict[int, Span] | None",
+        group: list[ExecutionUnit],
+        mode: ConnectionMode,
+    ) -> None:
+        if spans is None:
+            return
+        for unit in group:
+            span = spans.get(id(unit))
+            if span is not None:
+                span.attributes["mode"] = mode.value
 
     def _run_attempts(
         self,
@@ -430,54 +541,73 @@ class ExecutionEngine:
         is_query: bool,
         pinned: Connection | None,
         deadline: float | None,
+        span: "Span | None" = None,
     ) -> Any:
         """Run one execution unit under the resilience policy.
 
         ``attempt`` performs a full attempt (including any connection
         (re-)acquisition) and returns the cursor. Retries apply only to
         transient errors, within the deadline budget, and never to writes
-        on a pinned (in-transaction) connection.
+        on a pinned (in-transaction) connection. The unit's storage span,
+        when present, is finished here — retries become span events and a
+        final ``retries`` attribute; a terminal failure closes it with the
+        error attached.
         """
         policy = self.resilience
         attempt_no = 0
-        while True:
-            self._check_deadline(deadline, source_name)
-            self._breaker_admit(source_name)
-            try:
-                value = attempt()
-            except Exception as exc:
-                self._record_outcome(source_name, ok=False)
-                retryable = policy is not None and policy.is_retryable(exc)
-                allowed = (
-                    retryable
-                    and policy is not None
-                    and attempt_no < policy.max_retries
-                    and (is_query or (policy.retry_writes and pinned is None))
-                    # A pinned (transactional) statement may only be retried
-                    # as a read on a connection that survived the fault.
-                    and (pinned is None or (is_query and not pinned.closed))
-                )
-                if not allowed:
-                    if retryable:
-                        self.metrics.giveups += 1
-                        self.metrics.bump(source_name, "giveups")
-                        self._emit("giveup", data_source=source_name, error=exc,
-                                   attempts=attempt_no + 1)
-                    raise
-                attempt_no += 1
-                self.metrics.retries += 1
-                self.metrics.bump(source_name, "retries")
-                self._emit("retry", data_source=source_name, attempt=attempt_no, error=exc)
-                assert policy is not None
-                with self._rng_lock:
-                    delay = policy.backoff(attempt_no, self._retry_rng)
-                if deadline is not None:
-                    delay = min(delay, max(0.0, deadline - time.monotonic()))
-                if delay > 0:
-                    time.sleep(delay)
-                continue
-            self._record_outcome(source_name, ok=True)
-            return value
+        try:
+            while True:
+                self._check_deadline(deadline, source_name)
+                self._breaker_admit(source_name)
+                try:
+                    value = attempt()
+                except Exception as exc:
+                    self._record_outcome(source_name, ok=False)
+                    retryable = policy is not None and policy.is_retryable(exc)
+                    allowed = (
+                        retryable
+                        and policy is not None
+                        and attempt_no < policy.max_retries
+                        and (is_query or (policy.retry_writes and pinned is None))
+                        # A pinned (transactional) statement may only be retried
+                        # as a read on a connection that survived the fault.
+                        and (pinned is None or (is_query and not pinned.closed))
+                    )
+                    if not allowed:
+                        if retryable:
+                            self.metrics.giveups += 1
+                            self.metrics.bump(source_name, "giveups")
+                            self._emit("giveup", data_source=source_name, error=exc,
+                                       attempts=attempt_no + 1)
+                        raise
+                    attempt_no += 1
+                    self.metrics.retries += 1
+                    self.metrics.bump(source_name, "retries")
+                    self._emit("retry", data_source=source_name, attempt=attempt_no, error=exc)
+                    if span is not None:
+                        span.add_event(
+                            "retry", attempt=attempt_no, error=type(exc).__name__
+                        )
+                    assert policy is not None
+                    with self._rng_lock:
+                        delay = policy.backoff(attempt_no, self._retry_rng)
+                    if deadline is not None:
+                        delay = min(delay, max(0.0, deadline - time.monotonic()))
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self._record_outcome(source_name, ok=True)
+                if span is not None:
+                    if attempt_no:
+                        span.attributes["retries"] = attempt_no
+                    span.finish()
+                return value
+        except BaseException as terminal:
+            if span is not None:
+                if attempt_no:
+                    span.attributes["retries"] = attempt_no
+                span.finish(error=terminal)
+            raise
 
     # ------------------------------------------------------------------
     # Modes
@@ -499,21 +629,28 @@ class ExecutionEngine:
         group: list[ExecutionUnit],
         is_query: bool,
         deadline: float | None = None,
+        spans: "dict[int, Span] | None" = None,
     ) -> tuple[list[ShardResult], int]:
         """Transactional path: all units run serially on the pinned connection."""
         results: list[ShardResult] = []
         update_count = 0
         for unit in group:
+            span = spans.get(id(unit)) if spans is not None else None
             cursor = self._run_attempts(
                 unit.data_source,
-                lambda unit=unit: connection.execute(unit.statement, unit.params),
-                is_query=is_query, pinned=connection, deadline=deadline,
+                lambda unit=unit, span=span: self._traced(connection, unit, span),
+                is_query=is_query, pinned=connection, deadline=deadline, span=span,
             )
             self._emit("execute", data_source=unit.data_source, unit=unit)
             if is_query:
-                results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
+                rows = cursor.fetchall()
+                if span is not None:
+                    span.attributes["rows"] = len(rows)
+                results.append(MaterializedResult(cursor.columns, rows))
             else:
                 update_count += max(cursor.rowcount, 0)
+                if span is not None:
+                    span.attributes["rows"] = max(cursor.rowcount, 0)
         return results, update_count
 
     def _run_connection_strictly(
@@ -522,6 +659,7 @@ class ExecutionEngine:
         group: list[ExecutionUnit],
         is_query: bool,
         deadline: float | None = None,
+        spans: "dict[int, Span] | None" = None,
     ) -> tuple[list[ShardResult], int]:
         """θ > 1: few connections, several SQLs each, memory-loaded results.
 
@@ -539,21 +677,28 @@ class ExecutionEngine:
             update_count = 0
             try:
                 for unit in bucket:
-                    def attempt(unit: ExecutionUnit = unit) -> Any:
+                    span = spans.get(id(unit)) if spans is not None else None
+
+                    def attempt(unit: ExecutionUnit = unit, span=span) -> Any:
                         if holder[0].closed:
                             source.pool.release(holder[0])
                             holder[0] = source.pool.acquire()
-                        return holder[0].execute(unit.statement, unit.params)
+                        return self._traced(holder[0], unit, span)
 
                     cursor = self._run_attempts(
                         unit.data_source, attempt,
-                        is_query=is_query, pinned=None, deadline=deadline,
+                        is_query=is_query, pinned=None, deadline=deadline, span=span,
                     )
                     self._emit("execute", data_source=unit.data_source, unit=unit)
                     if is_query:
-                        results.append(MaterializedResult(cursor.columns, cursor.fetchall()))
+                        rows = cursor.fetchall()
+                        if span is not None:
+                            span.attributes["rows"] = len(rows)
+                        results.append(MaterializedResult(cursor.columns, rows))
                     else:
                         update_count += max(cursor.rowcount, 0)
+                        if span is not None:
+                            span.attributes["rows"] = max(cursor.rowcount, 0)
             finally:
                 source.pool.release(holder[0])
             return results, update_count
@@ -576,6 +721,7 @@ class ExecutionEngine:
         is_query: bool,
         result: ExecutionResult,
         deadline: float | None = None,
+        spans: "dict[int, Span] | None" = None,
     ) -> tuple[list[ShardResult], int]:
         """θ = 1: one connection per SQL, streaming cursors (stream merger)."""
         connections = self._acquire_batch(source, len(group))
@@ -591,6 +737,7 @@ class ExecutionEngine:
                 self._pool.submit(
                     self._execute_streaming, source, connections, index, unit,
                     is_query, deadline,
+                    spans.get(id(unit)) if spans is not None else None,
                 )
                 for index, unit in enumerate(group)
             ]
@@ -619,17 +766,24 @@ class ExecutionEngine:
         unit: ExecutionUnit,
         is_query: bool = True,
         deadline: float | None = None,
+        span: "Span | None" = None,
     ):
         def attempt() -> Any:
             if connections[index].closed:
                 source.pool.release(connections[index])
                 connections[index] = source.pool.acquire()
-            return connections[index].execute(unit.statement, unit.params)
+            return self._traced(connections[index], unit, span)
 
         cursor = self._run_attempts(
-            unit.data_source, attempt, is_query=is_query, pinned=None, deadline=deadline
+            unit.data_source, attempt, is_query=is_query, pinned=None,
+            deadline=deadline, span=span,
         )
         self._emit("execute", data_source=unit.data_source, unit=unit)
+        if span is not None and is_query:
+            # traced statements trade streaming for a row count on the span
+            rows = cursor.fetchall()
+            span.attributes["rows"] = len(rows)
+            return MaterializedResult(cursor.columns, rows)
         return cursor
 
     def _acquire_batch(self, source: DataSource, count: int, timeout: float = 10.0) -> list[Connection]:

@@ -9,8 +9,9 @@ or mutate it, may redirect routed units, and may post-process results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..exceptions import RouteError, ShardingSphereError
 from ..sharding import ShardingRule
@@ -22,6 +23,10 @@ from .merger import MergedResult, MergeSpec, merge
 from .resilience import REROUTABLE_ERRORS, ResiliencePolicy
 from .rewriter import ExecutionUnit, RewriteResult, rewrite
 from .router import RouteResult, route
+
+if TYPE_CHECKING:
+    from ..observability import Observability
+    from ..observability.trace import Trace
 
 
 class Feature:
@@ -66,6 +71,8 @@ class EngineResult:
     #: True when DOWN sources were skipped (graceful degradation)
     partial_results: bool = False
     skipped_sources: list[str] = field(default_factory=list)
+    #: the statement's Trace when tracing was on (``TRACE <sql>``)
+    trace: Any = None
 
     @property
     def sqls(self) -> list[str]:
@@ -111,7 +118,17 @@ class SQLEngine:
             worker_threads=worker_threads,
             resilience=resilience,
         )
+        #: attached via attach_observability; None = no metrics/trace cost
+        self.observability: "Observability | None" = None
         self._parse_cache: dict[str, ast.Statement] = {}
+
+    def attach_observability(self, observability: "Observability") -> None:
+        """Wire tracing, stage metrics and pool gauges into this engine."""
+        self.observability = observability
+        self.executor.observability = observability
+        observability.register_execution_metrics(self.executor.metrics)
+        for name, source in self.data_sources.items():
+            observability.watch_pool(name, source.pool)
 
     def close(self) -> None:
         self.executor.close()
@@ -168,6 +185,7 @@ class SQLEngine:
         params: Sequence[Any] = (),
         held_connections: Mapping[str, Connection] | None = None,
         hint_values: Sequence[Any] | None = None,
+        force_trace: bool = False,
     ) -> EngineResult:
         """Run one logical statement through the full pipeline.
 
@@ -176,17 +194,64 @@ class SQLEngine:
         breaker open) re-enter the pipeline from routing: health-aware
         routing then picks a different replica, turning a replica outage
         into extra latency instead of an error.
+
+        ``force_trace`` traces this one statement even while the tracer
+        is globally disabled (DistSQL ``TRACE <sql>``); the finished
+        :class:`~repro.observability.trace.Trace` rides on
+        ``result.trace``.
         """
+        observability = self.observability
+        trace: "Trace | None" = None
+        if observability is not None and (force_trace or observability.tracer.enabled):
+            if isinstance(sql, str):
+                text = sql
+            else:
+                # pre-parsed statement: render it back so the trace still
+                # shows SQL, not an AST class name (traced statements only)
+                try:
+                    from ..sql.formatter import format_statement
+
+                    text = format_statement(sql)
+                except Exception:
+                    text = type(sql).__name__
+            trace = observability.tracer.start_trace(text)
         reroutes = 0
-        while True:
-            try:
-                return self._execute_once(sql, params, held_connections, hint_values)
-            except REROUTABLE_ERRORS as exc:
-                if not self._can_reroute(sql, held_connections, reroutes):
-                    raise
-                reroutes += 1
-                self.executor.metrics.reroutes += 1
-                self.executor._emit("reroute", attempt=reroutes, error=exc)
+        try:
+            while True:
+                try:
+                    result = self._execute_once(sql, params, held_connections, hint_values, trace)
+                except REROUTABLE_ERRORS as exc:
+                    if not self._can_reroute(sql, held_connections, reroutes):
+                        raise
+                    reroutes += 1
+                    self.executor.metrics.reroutes += 1
+                    self.executor._emit("reroute", attempt=reroutes, error=exc)
+                    if trace is not None:
+                        trace.root.add_event(
+                            "reroute", attempt=reroutes, error=type(exc).__name__
+                        )
+                    continue
+                if trace is not None:
+                    root = trace.root
+                    root.attributes["route_type"] = result.route_type
+                    root.attributes["units"] = result.unit_count
+                    root.attributes["merger_kind"] = result.merger_kind
+                    if result.partial_results:
+                        root.attributes["partial"] = True
+                        root.attributes["skipped_sources"] = ",".join(result.skipped_sources)
+                    if reroutes:
+                        root.attributes["reroutes"] = reroutes
+                    trace.finish()
+                    observability.record_trace(trace)
+                    result.trace = trace
+                return result
+        except Exception as exc:
+            if observability is not None:
+                observability.on_statement({}, "", 0, error=True)
+                if trace is not None:
+                    trace.finish(error=exc)
+                    observability.record_trace(trace)
+            raise
 
     def _can_reroute(
         self,
@@ -212,7 +277,20 @@ class SQLEngine:
         params: Sequence[Any] = (),
         held_connections: Mapping[str, Connection] | None = None,
         hint_values: Sequence[Any] | None = None,
+        trace: "Trace | None" = None,
     ) -> EngineResult:
+        observability = self.observability
+        # Histogram sampling: unsampled statements (weight 0) skip the
+        # perf_counter calls and stage dict entirely; counters stay exact.
+        # A forced TRACE of an unsampled statement records unweighted.
+        weight = observability.stage_weight() if observability is not None else 0
+        if weight == 0 and trace is not None:
+            weight = 1
+        timed = weight > 0
+        stages: dict[str, float] = {}
+
+        t0 = time.perf_counter() if timed else 0.0
+        span = trace.start_span("parse") if trace is not None else None
         if isinstance(sql, str):
             statement = self._parse_cached(sql)
             sql_text = sql
@@ -223,7 +301,14 @@ class SQLEngine:
         context = build_context(statement, sql_text, params, self.rule, hint_values)
         for feature in self.features:
             feature.on_context(context)
+        if span is not None:
+            span.finish()
+        if timed:
+            now = time.perf_counter()
+            stages["parse"] = now - t0
+            t0 = now
 
+        span = trace.start_span("route") if trace is not None else None
         try:
             route_result = route(context, self.rule)
         except RouteError as exc:
@@ -232,25 +317,71 @@ class SQLEngine:
                 and isinstance(statement, ast.SelectStatement)
                 and "co-located" in str(exc)
             ):
-                return self._federated(context)
+                if span is not None:
+                    span.attributes["fallback"] = "federation"
+                    span.finish()
+                if timed:
+                    now = time.perf_counter()
+                    stages["route"] = now - t0
+                    t0 = now
+                span = trace.start_span("federation") if trace is not None else None
+                result = self._federated(context)
+                if span is not None:
+                    span.finish()
+                if timed:
+                    stages["federation"] = time.perf_counter() - t0
+                if observability is not None:
+                    observability.on_statement(
+                        stages, "federation", 0, error=False, weight=weight
+                    )
+                return result
+            if span is not None:
+                span.finish(error=exc)
             raise
         for feature in self.features:
             feature.on_route(route_result, context)
+        if span is not None:
+            span.attributes["route_type"] = route_result.route_type
+            span.attributes["units"] = len(route_result.units)
+            span.finish()
+        if timed:
+            now = time.perf_counter()
+            stages["route"] = now - t0
+            t0 = now
 
+        span = trace.start_span("rewrite") if trace is not None else None
         rewrite_result = rewrite(context, route_result, self._dialect_of)
         units = rewrite_result.execution_units
         for feature in self.features:
             feature.on_units(units, context)
+        if span is not None:
+            span.attributes["units"] = len(units)
+            span.finish()
+        if timed:
+            now = time.perf_counter()
+            stages["rewrite"] = now - t0
+            t0 = now
 
         is_query = isinstance(statement, ast.SelectStatement)
+        span = trace.start_span("execute") if trace is not None else None
         try:
             execution = self.executor.execute(
-                units, is_query, held_connections, route_type=route_result.route_type
+                units, is_query, held_connections,
+                route_type=route_result.route_type,
+                trace=trace, parent_span=span,
             )
         except Exception as exc:
+            if span is not None:
+                span.finish(error=exc)
             for feature in self.features:
                 feature.on_error(exc, context)
             raise
+        if span is not None:
+            if execution.partial_results:
+                span.attributes["partial"] = True
+            span.finish()
+        if timed:
+            stages["execute"] = time.perf_counter() - t0
 
         result = EngineResult(
             update_count=execution.update_count,
@@ -263,6 +394,8 @@ class SQLEngine:
             skipped_sources=list(execution.skipped_sources),
         )
         if is_query:
+            t0 = time.perf_counter() if timed else 0.0
+            span = trace.start_span("merge") if trace is not None else None
             spec = rewrite_result.merge_spec or MergeSpec(is_query=True, single_node=True)
             merged = merge(spec, execution.results)
             result.merged = MergedResult(
@@ -271,9 +404,20 @@ class SQLEngine:
                 merger_kind=merged.merger_kind,
             )
             result.merger_kind = merged.merger_kind
+            if span is not None:
+                span.attributes["merger_kind"] = merged.merger_kind
+                span.finish()
+            if timed:
+                stages["merge"] = time.perf_counter() - t0
         else:
+            result.merger_kind = "update"
             execution.release()
 
+        if observability is not None:
+            observability.on_statement(
+                stages, route_result.route_type, len(units), error=False,
+                weight=weight,
+            )
         for feature in self.features:
             feature.on_result(result, context)
         return result

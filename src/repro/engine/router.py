@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..exceptions import RouteError
 from ..sharding import DataNode, ShardingRule

@@ -10,7 +10,6 @@ every member reconfigures without restarts.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from typing import Any, Callable
 

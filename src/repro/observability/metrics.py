@@ -1,0 +1,394 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Prometheus-flavoured pull model: metric *families* are registered once
+(name + kind + label names), label sets materialize children lazily, and
+:meth:`MetricsRegistry.render_prometheus` emits the text exposition
+format. Histograms use fixed buckets and estimate p50/p95/p99 by linear
+interpolation inside the bucket containing the target rank — the standard
+fixed-bucket quantile estimate, accurate to one bucket width.
+
+The registry also accepts *collectors*: callables that produce sample
+families at collection time. The execution engine's ad-hoc
+``ExecutionMetrics`` counters are folded into the registry this way, so
+``SHOW METRICS``, ``SHOW EXECUTION METRICS`` and the Prometheus export all
+read one source of truth without adding locked counter updates to the
+executor's hot path.
+
+Naming scheme (see DESIGN.md "Observability"): ``<subsystem>_<what>_<unit>``
+with ``_total`` for counters — e.g. ``engine_stage_seconds{stage="route"}``,
+``storage_queries_total{source="ds0"}``, ``pool_checkout_wait_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from threading import get_ident
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+#: default latency buckets (seconds): 10µs .. 2.5s, roughly ×2.5 steps
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: default fan-out buckets (execution units per statement)
+DEFAULT_FANOUT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+LabelValues = tuple[str, ...]
+
+#: a collector yields (name, kind, help, [(labels_dict, value)]) families
+SampleFamily = tuple[str, str, str, list[tuple[dict[str, str], float]]]
+Collector = Callable[[], Iterable[SampleFamily]]
+
+
+class _Metric:
+    """Base family: shared registry lock + per-label-set children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._children: dict[LabelValues, Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_dict(self, key: LabelValues) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    """Monotonic counter family.
+
+    Two write paths: :meth:`inc` (validated, locked) for general use, and
+    :meth:`inc_sharded` for per-statement hot paths — a lock-free exact
+    increment into one slot per (label values, thread). Each slot has a
+    single writer and CPython dict get/set are individually atomic under
+    the GIL, so no update is ever lost; contended-mutex convoys (thread
+    parks + GIL handoffs) never happen on the statement path. Readers
+    merge the shards under the registry lock.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock):
+        super().__init__(name, help, labelnames, lock)
+        self._shards: dict[tuple[LabelValues, int], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def _inc_locked(self, amount: float, key: LabelValues) -> None:
+        self._children[key] = self._children.get(key, 0.0) + amount
+
+    def inc_sharded(self, key: LabelValues, amount: float = 1.0) -> None:
+        """Lock-free increment; ``key`` is the label-values tuple."""
+        shards = self._shards
+        slot = (key, get_ident())
+        shards[slot] = shards.get(slot, 0.0) + amount
+
+    def _merged_locked(self) -> dict[LabelValues, float]:
+        totals = dict(self._children)
+        # list() snapshots atomically under the GIL while writers insert
+        for (key, _tid), value in list(self._shards.items()):
+            totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._merged_locked().get(key, 0.0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            items = sorted(self._merged_locked().items())
+        return [(self._label_dict(key), value) for key, value in items]
+
+
+class Gauge(_Metric):
+    """Point-in-time value; supports callback children (pool occupancy)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def set_function(self, fn: Callable[[], float], **labels: Any) -> None:
+        """Register a callable sampled at collection time."""
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = fn
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            raw = self._children.get(key, 0.0)
+        return float(raw()) if callable(raw) else raw
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        with self._lock:
+            items = sorted(self._children.items())
+        out = []
+        for key, raw in items:
+            value = float(raw()) if callable(raw) else raw
+            out.append((self._label_dict(key), value))
+        return out
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "count", "sum", "max")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * (num_buckets + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram family with interpolated percentiles."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock, buckets: Sequence[float] | None = None):
+        super().__init__(name, help, labelnames, lock)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+
+    def _child(self, key: LabelValues) -> _HistogramChild:
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistogramChild(len(self.bounds))
+        return child
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._observe_locked(value, key)
+
+    def _observe_locked(self, value: float, key: LabelValues) -> None:
+        child = self._child(key)
+        child.counts[bisect_left(self.bounds, value)] += 1
+        child.count += 1
+        child.sum += value
+        if value > child.max:
+            child.max = value
+
+    # -- reads -------------------------------------------------------------
+
+    def count(self, **labels: Any) -> int:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.sum if child is not None else 0.0
+
+    def percentile(self, p: float, **labels: Any) -> float:
+        """Estimated percentile (p in [0, 100]) via in-bucket interpolation."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None or child.count == 0:
+                return 0.0
+            counts = list(child.counts)
+            total, observed_max = child.count, child.max
+        rank = max(0.0, min(100.0, p)) / 100.0 * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else observed_max
+                upper = max(upper, lower)
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return observed_max
+
+    def stats(self, **labels: Any) -> dict[str, float]:
+        """count/sum/avg plus the paper's three tail percentiles."""
+        count = self.count(**labels)
+        total = self.sum(**labels)
+        return {
+            "count": count,
+            "sum": total,
+            "avg": (total / count) if count else 0.0,
+            "p50": self.percentile(50, **labels),
+            "p95": self.percentile(95, **labels),
+            "p99": self.percentile(99, **labels),
+        }
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        """Summary view used by SHOW METRICS (value = observation count)."""
+        with self._lock:
+            items = sorted((k, c.count) for k, c in self._children.items())
+        return [(self._label_dict(key), float(count)) for key, count in items]
+
+    def label_sets(self) -> list[dict[str, str]]:
+        with self._lock:
+            keys = sorted(self._children)
+        return [self._label_dict(key) for key in keys]
+
+    def _prometheus_lines(self) -> list[str]:
+        lines: list[str] = []
+        with self._lock:
+            items = sorted(self._children.items())
+            snapshot = [
+                (key, list(child.counts), child.count, child.sum) for key, child in items
+            ]
+        for key, counts, count, total in snapshot:
+            cumulative = 0
+            for i, bound in enumerate(self.bounds):
+                cumulative += counts[i]
+                labels = {**self._label_dict(key), "le": _format_value(bound)}
+                lines.append(f"{self.name}_bucket{_render_labels(labels)} {cumulative}")
+            labels = {**self._label_dict(key), "le": "+Inf"}
+            lines.append(f"{self.name}_bucket{_render_labels(labels)} {count}")
+            lines.append(f"{self.name}_sum{_render_labels(self._label_dict(key))} "
+                         f"{_format_value(total)}")
+            lines.append(f"{self.name}_count{_render_labels(self._label_dict(key))} {count}")
+        return lines
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def like_to_matcher(pattern: str) -> Callable[[str], bool]:
+    """SQL LIKE (``%``/``_`` wildcards, case-insensitive) → predicate."""
+    if not pattern:
+        return lambda name: True
+    import re
+
+    regex = re.compile(
+        "^" + "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern.lower()
+        ) + "$"
+    )
+    return lambda name: regex.match(name.lower()) is not None
+
+
+class MetricsRegistry:
+    """Holds metric families plus pull-time collectors.
+
+    All families share one registry lock. The statement hot path avoids
+    it entirely: counters go through ``Counter.inc_sharded`` (lock-free
+    per-thread slots) and histograms only lock on sampled statements
+    (see ``Observability.on_statement``).
+    """
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self._families: dict[str, _Metric] = {}
+        self._order: list[str] = []
+        self._collectors: list[Collector] = []
+        self._collector_keys: set[int] = set()
+
+    # -- family creation (get-or-create, kind-checked) --------------------
+
+    def _family(self, cls, name: str, help: str, labelnames: Sequence[str],
+                **kwargs: Any) -> Any:
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, self.lock, **kwargs)
+        self._families[name] = metric
+        self._order.append(name)
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._family(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._family(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        return self._family(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._families.get(name)
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, collector: Collector, key: Any = None) -> None:
+        """Add a pull-time sample source; ``key`` dedupes re-registration."""
+        if key is not None:
+            if id(key) in self._collector_keys:
+                return
+            self._collector_keys.add(id(key))
+        self._collectors.append(collector)
+
+    # -- collection ---------------------------------------------------------
+
+    def collect(self) -> list[SampleFamily]:
+        """Every family (static + collector-produced) with its samples."""
+        out: list[SampleFamily] = []
+        for name in list(self._order):
+            metric = self._families[name]
+            out.append((metric.name, metric.kind, metric.help, metric.samples()))
+        for collector in self._collectors:
+            out.extend(collector())
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name in list(self._order):
+            metric = self._families[name]
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                lines.extend(metric._prometheus_lines())
+            else:
+                for labels, value in metric.samples():
+                    lines.append(
+                        f"{metric.name}{_render_labels(labels)} {_format_value(value)}"
+                    )
+        for collector in self._collectors:
+            for name, kind, help, samples in collector():
+                if help:
+                    lines.append(f"# HELP {name} {help}")
+                lines.append(f"# TYPE {name} {kind}")
+                for labels, value in samples:
+                    lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+        return "\n".join(lines) + "\n"

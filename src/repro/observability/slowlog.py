@@ -1,0 +1,87 @@
+"""Slow-query log: a bounded ring buffer of completed traces.
+
+Every finished trace is offered to the log; traces whose wall time exceeds
+the configurable threshold are always recorded, and one in every
+``sample_every`` fast traces is recorded too (sampled normal traffic, so
+the log shows what "normal" looks like next to the outliers). The buffer
+is a fixed-capacity ring: when full, recording a new entry evicts the
+oldest one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from .trace import Trace
+
+
+@dataclass
+class SlowQueryEntry:
+    """One recorded statement with its full trace attached."""
+
+    trace_id: int
+    sql: str
+    wall: float
+    simulated: float
+    kind: str  # "slow" | "sampled"
+    route_type: str
+    spans: int
+    error: str | None
+    trace: Any  # the full Trace, for drill-down
+
+
+class SlowQueryLog:
+    """Threshold-filtered, sampled ring buffer of completed traces."""
+
+    def __init__(self, threshold: float = 0.1, capacity: int = 128,
+                 sample_every: int = 0):
+        if capacity < 1:
+            raise ValueError("slow query log capacity must be >= 1")
+        self.threshold = threshold
+        self.capacity = capacity
+        #: record every Nth non-slow trace as well (0 disables sampling)
+        self.sample_every = sample_every
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seen_fast = 0
+        self.recorded = 0
+
+    def offer(self, trace: "Trace") -> bool:
+        """Consider one finished trace; True when it was recorded."""
+        slow = trace.wall >= self.threshold
+        if not slow:
+            if not self.sample_every:
+                return False
+            with self._lock:
+                self._seen_fast += 1
+                if self._seen_fast % self.sample_every != 0:
+                    return False
+        entry = SlowQueryEntry(
+            trace_id=trace.trace_id,
+            sql=trace.name,
+            wall=trace.wall,
+            simulated=trace.simulated,
+            kind="slow" if slow else "sampled",
+            route_type=str(trace.root.attributes.get("route_type", "")),
+            spans=len(trace.spans),
+            error=trace.error,
+            trace=trace,
+        )
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded += 1
+        return True
+
+    def entries(self) -> list[SlowQueryEntry]:
+        """Recorded entries, newest first."""
+        with self._lock:
+            return list(self._entries)[::-1]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._seen_fast = 0

@@ -18,7 +18,7 @@ from typing import Any, Mapping, Sequence
 from ..exceptions import ShardingConfigError
 from ..sql import ast
 from ..storage import DataSource, TableSchema
-from .algorithms import ShardingAlgorithm, create_algorithm
+from .algorithms import create_algorithm
 from .keygen import create_key_generator
 from .rule import DataNode, KeyGenerateConfig, StandardShardingStrategy, TableRule
 

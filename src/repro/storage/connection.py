@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..exceptions import ConnectionClosedError, ConnectionDropError, TransactionError
@@ -36,6 +37,11 @@ class Connection:
     like a fresh JDBC/MySQL connection. ``begin()`` or executing ``BEGIN``
     opens an explicit transaction ended by ``commit()``/``rollback()``.
     """
+
+    #: trace context handed down by the execution engine for the duration
+    #: of one statement: latency-model sleeps and lock waits in ``_run``
+    #: are attributed to this span (class default None = not traced)
+    trace_span = None
 
     def __init__(self, data_source: "DataSource"):
         self.data_source = data_source
@@ -156,6 +162,7 @@ class Connection:
             # back any open transaction; the pool discards closed conns.
             self.close()
             raise
+        span = self.trace_span
         if stmt.category in ("DML", "DDL"):
             with self._lock:
                 implicit = False
@@ -164,7 +171,10 @@ class Connection:
                     implicit = True
                 txn = self._transaction
                 try:
+                    lock_t0 = time.perf_counter() if span is not None else 0.0
                     with self.database.write_lock():
+                        if span is not None:
+                            span.record_lock_wait(time.perf_counter() - lock_t0)
                         result = execute_statement(self.database, stmt, params, txn)
                 except Exception:
                     if implicit:
@@ -174,7 +184,11 @@ class Connection:
                 if implicit:
                     txn.commit()
                     self._transaction = None
+                    if span is not None:
+                        # autocommit fsync happens inside this statement
+                        span.record_simulated(self.database.latency.commit_cost())
             if result.cost > 0:
+                pay_t0 = time.perf_counter() if span is not None else 0.0
                 if result.written_table is not None:
                     # Write I/O serializes per table (page/WAL contention):
                     # the hot-table bottleneck the paper's sharding removes.
@@ -185,12 +199,21 @@ class Connection:
                 else:
                     with self.data_source.io_semaphore:
                         pay(result.cost)
+                if span is not None:
+                    span.record_simulated(result.cost)
+                    span.record_lock_wait(
+                        time.perf_counter() - pay_t0 - result.cost
+                    )
             return result
 
         result = execute_statement(self.database, stmt, params, self._transaction)
         if result.cost > 0:
+            pay_t0 = time.perf_counter() if span is not None else 0.0
             with self.data_source.io_semaphore:
                 pay(result.cost)
+            if span is not None:
+                span.record_simulated(result.cost)
+                span.record_lock_wait(time.perf_counter() - pay_t0 - result.cost)
         return result
 
 

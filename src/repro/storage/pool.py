@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import ConnectionPoolExhaustedError
 
@@ -31,6 +31,9 @@ class ConnectionPool:
         self._in_use = 0
         self._mutex = threading.Lock()
         self._available = threading.Condition(self._mutex)
+        #: observability hook: called with the measured checkout wait
+        #: (seconds) after every successful acquire; None = not monitored
+        self.wait_observer: Callable[[float], None] | None = None
 
     # -- metrics ---------------------------------------------------------
 
@@ -54,7 +57,7 @@ class ConnectionPool:
             while True:
                 conn = self._try_take_locked()
                 if conn is not None:
-                    return conn
+                    break
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     waited = time.monotonic() - start
@@ -68,6 +71,10 @@ class ConnectionPool:
                         waited=waited,
                     )
                 self._available.wait(remaining)
+        # observer runs outside the pool lock (it may take a registry lock)
+        if self.wait_observer is not None:
+            self.wait_observer(time.monotonic() - start)
+        return conn
 
     def try_acquire_many(self, count: int) -> list["Connection"] | None:
         """Atomically acquire ``count`` connections or none at all.

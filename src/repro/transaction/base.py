@@ -13,7 +13,7 @@ import abc
 import enum
 import itertools
 import uuid
-from typing import TYPE_CHECKING, Mapping
+from typing import Mapping
 
 from ..exceptions import TransactionError
 from ..storage import Connection, DataSource

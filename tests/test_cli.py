@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 
 def run_console(stdin: str, *args: str) -> subprocess.CompletedProcess:

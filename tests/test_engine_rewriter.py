@@ -1,6 +1,5 @@
 """Unit tests for the SQL rewriter (correctness + optimization rewrites)."""
 
-import pytest
 
 from repro.engine import build_context, rewrite, route
 from repro.sql import parse

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exceptions import RouteError, ShardingConfigError
+from repro.exceptions import ShardingConfigError
 from repro.sharding import (
     DataNode,
     KeyGenerateConfig,
