@@ -1,6 +1,6 @@
 """Adaptors (Section VII): ShardingSphere-JDBC and ShardingSphere-Proxy."""
 
-from .jdbc import ShardingConnection, ShardingDataSource, ShardingResult
+from .jdbc import PreparedStatement, ShardingConnection, ShardingDataSource, ShardingResult
 from .proxy import ShardingProxyServer
 from .runtime import ShardingRuntime
 
@@ -8,6 +8,7 @@ __all__ = [
     "ShardingRuntime",
     "ShardingDataSource",
     "ShardingConnection",
+    "PreparedStatement",
     "ShardingResult",
     "ShardingProxyServer",
 ]

@@ -167,31 +167,48 @@ class ShardingConnection:
 
     # -- execution ----------------------------------------------------------------
 
+    #: leading keywords that must be parsed here (transaction control and
+    #: session statements the engine pipeline never sees)
+    _CONTROL_VERBS = frozenset({"BEGIN", "START", "COMMIT", "ROLLBACK", "SET", "SHOW"})
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """JDBC-style ``prepareStatement``: repeated executions of the
+        returned statement run from the engine's plan cache."""
+        self._check_open()
+        return PreparedStatement(self, sql)
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ShardingResult:
         self._check_open()
         if is_distsql(sql):
             result = execute_distsql(sql, self.runtime)
             return ShardingResult(result.columns, iter(result.rows), message=result.message)
 
-        statement = self.runtime.engine._parse_cached(sql)
-        if isinstance(statement, ast.BeginStatement):
-            self.begin()
-            return ShardingResult([], iter(()), rowcount=0, message="BEGIN")
-        if isinstance(statement, ast.CommitStatement):
-            self.commit()
-            return ShardingResult([], iter(()), rowcount=0, message="COMMIT")
-        if isinstance(statement, ast.RollbackStatement):
-            self.rollback()
-            return ShardingResult([], iter(()), rowcount=0, message="ROLLBACK")
-        if isinstance(statement, ast.SetStatement):
-            self.runtime.set_variable(statement.name, statement.value)
-            return ShardingResult([], iter(()), rowcount=0, message="OK")
-        if isinstance(statement, ast.ShowStatement):
-            return self._show(statement)
+        # Cheap leading-verb dispatch: only control/session statements are
+        # parsed here. Everything else passes through as raw SQL text so
+        # the engine's plan cache can key by it (pre-parsing would force
+        # the slow path every time).
+        head = sql.lstrip()[:12].upper()
+        verb = head.split(None, 1)[0] if head else ""
+        if verb in self._CONTROL_VERBS:
+            statement = self.runtime.engine._parse_cached(sql)
+            if isinstance(statement, ast.BeginStatement):
+                self.begin()
+                return ShardingResult([], iter(()), rowcount=0, message="BEGIN")
+            if isinstance(statement, ast.CommitStatement):
+                self.commit()
+                return ShardingResult([], iter(()), rowcount=0, message="COMMIT")
+            if isinstance(statement, ast.RollbackStatement):
+                self.rollback()
+                return ShardingResult([], iter(()), rowcount=0, message="ROLLBACK")
+            if isinstance(statement, ast.SetStatement):
+                self.runtime.set_variable(statement.name, statement.value)
+                return ShardingResult([], iter(()), rowcount=0, message="OK")
+            if isinstance(statement, ast.ShowStatement):
+                return self._show(statement)
 
         held = _PinnedConnections(self._transaction) if self.in_transaction else None
         engine_result = self.runtime.engine.execute(
-            statement, params,
+            sql, params,
             held_connections=held,
             hint_values=self.hint_values or None,
         )
@@ -208,6 +225,37 @@ class ShardingConnection:
             generated_keys=engine_result.generated_keys,
             diagnostics=engine_result,
         )
+
+
+class PreparedStatement:
+    """Client-side prepared statement bound to one connection.
+
+    Mirrors JDBC's ``Connection#prepareStatement``: the first execution
+    compiles the SQL text into the engine's plan cache; each subsequent
+    ``execute`` binds parameters into the cached plan, skipping parse,
+    context build, route and rewrite entirely::
+
+        stmt = conn.prepare("SELECT c FROM sbtest WHERE id = ?")
+        for key in keys:
+            rows = stmt.execute((key,)).fetchall()
+    """
+
+    def __init__(self, connection: ShardingConnection, sql: str):
+        self.connection = connection
+        self.sql = sql
+
+    def execute(self, params: Sequence[Any] = ()) -> ShardingResult:
+        return self.connection.execute(self.sql, params)
+
+    def plan(self):
+        """The engine's CompiledPlan for this statement, if compiled yet.
+
+        Peeks without touching hit/miss counters or LRU recency.
+        """
+        return self.connection.runtime.engine.plan_cache.peek(self.sql)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedStatement({self.sql!r})"
 
 
 class ShardingDataSource:

@@ -68,6 +68,7 @@ class ShardingRuntime:
             "max_connections_per_query": max_connections_per_query,
             "tracing": "OFF",
             "slow_query_threshold_ms": self.observability.slow_log.threshold * 1000.0,
+            "plan_cache": "ON",
         }
         self._rwsplit_feature: ReadWriteSplittingFeature | None = None
         for name, source in self.data_sources.items():
@@ -167,6 +168,12 @@ class ShardingRuntime:
                 raise DistSQLError("slow_query_threshold_ms must be >= 0")
             self.observability.slow_log.threshold = millis / 1000.0
             self.variables[name] = millis
+        elif name == "plan_cache":
+            enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
+            self.engine.plan_cache.enabled = enabled
+            if not enabled:
+                self.engine.plan_cache.invalidate("SET VARIABLE plan_cache = off")
+            self.variables[name] = "ON" if enabled else "OFF"
         else:
             self.variables[name] = value
         self.config_center.set_prop(name, self.variables[name])

@@ -119,7 +119,16 @@ def enable_profile(system, args: argparse.Namespace):
     return observability
 
 
-def print_profile_report(system, observability, measurement, args) -> None:
+def _plan_cache_stats(system):
+    """Current plan-cache counters, or None for systems without the engine."""
+    runtime = getattr(system, "runtime", None)
+    engine = getattr(runtime, "engine", None) if runtime is not None else None
+    plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
+    return plan_cache.stats() if plan_cache is not None else None
+
+
+def print_profile_report(system, observability, measurement, args,
+                         plan_before=None) -> None:
     profile = observability.stage_profile()
     rows = [
         (stage, int(stats["count"]), round(stats["avg"] * 1000, 3),
@@ -145,6 +154,28 @@ def print_profile_report(system, observability, measurement, args) -> None:
         "stages": profile,
         "per_source_queries": sources,
     }
+    plan_after = _plan_cache_stats(system)
+    if plan_after is not None:
+        # Delta vs the pre-run snapshot so prepare-phase compiles/bypasses
+        # (bulk INSERTs) don't dilute the measured hit rate.
+        before = plan_before or {}
+        delta = {
+            key: plan_after[key] - before.get(key, 0)
+            for key in ("hits", "misses", "bypasses", "evictions", "invalidations")
+        }
+        total = delta["hits"] + delta["misses"] + delta["bypasses"]
+        hit_rate = delta["hits"] / total if total else 0.0
+        payload["plan_cache"] = {
+            **delta,
+            "size": plan_after["size"],
+            "capacity": plan_after["capacity"],
+            "hit_rate": round(hit_rate, 4),
+        }
+        print(
+            f"plan cache: hit rate {hit_rate:.1%} "
+            f"(hits={delta['hits']}, misses={delta['misses']}, "
+            f"bypasses={delta['bypasses']}, size={plan_after['size']})"
+        )
     with open(args.profile_output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -202,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         workload.prepare(system)
         injector = enable_chaos(system, args) if args.chaos else None
         observability = enable_profile(system, args) if args.profile else None
+        plan_before = _plan_cache_stats(system) if args.profile else None
         try:
             measurement = run_benchmark(
                 system,
@@ -217,7 +249,7 @@ def main(argv: list[str] | None = None) -> int:
         if injector is not None:
             print_chaos_report(system, injector)
         if observability is not None:
-            print_profile_report(system, observability, measurement, args)
+            print_profile_report(system, observability, measurement, args, plan_before)
         return 0
 
     workload = TPCCWorkload(TPCCConfig(warehouses=args.warehouses))
@@ -228,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
     workload.prepare(system)
     injector = enable_chaos(system, args) if args.chaos else None
     observability = enable_profile(system, args) if args.profile else None
+    plan_before = _plan_cache_stats(system) if args.profile else None
     try:
         measurement = run_benchmark(
             system,
@@ -245,7 +278,7 @@ def main(argv: list[str] | None = None) -> int:
     if injector is not None:
         print_chaos_report(system, injector)
     if observability is not None:
-        print_profile_report(system, observability, measurement, args)
+        print_profile_report(system, observability, measurement, args, plan_before)
     return 0
 
 

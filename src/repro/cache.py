@@ -1,0 +1,119 @@
+"""Shared bounded-LRU cache utility.
+
+Backs the SQL engine's parse cache and the prepared-statement plan cache.
+The previous parse cache wholesale-``clear()``-ed itself when full, so one
+burst of distinct SQL texts (a migration script, an ad-hoc analytics
+session) evicted every hot statement at once. A proper LRU keeps hot
+entries resident: only the least-recently-used entry leaves.
+
+Thread-safe; all operations take one short critical section. Counters
+(hits / misses / evictions) are maintained inline so callers can expose
+hit rates without wrapping every access.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LruCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LruCache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/replace ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data[key] = value
+                self._data.move_to_end(key)
+                return
+            if len(self._data) >= self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = value
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Return the cached value, creating it outside the lock on a miss.
+
+        The factory may run more than once under contention; the first
+        stored value wins so all callers observe one instance.
+        """
+        found = self.get(key)
+        if found is not None:
+            return found
+        created = factory()
+        with self._lock:
+            existing = self._data.get(key)
+            if existing is not None:
+                return existing
+            if len(self._data) >= self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = created
+        return created
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key`` without counters or recency updates."""
+        with self._lock:
+            return self._data.get(key, default)
+
+    def discard(self, key: K) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def items(self) -> list[tuple[K, V]]:
+        """Snapshot of entries, least-recently-used first."""
+        with self._lock:
+            return list(self._data.items())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        with self._lock:
+            return iter(list(self._data))
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

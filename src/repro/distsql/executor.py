@@ -59,6 +59,19 @@ def execute_distsql(sql: str, runtime: Runtime) -> DistSQLResult:
     return handler(statement, runtime)
 
 
+def _invalidate_plans(runtime: Runtime, reason: str) -> None:
+    """Clear the engine's plan cache after a rule/topology change.
+
+    Compiled plans bake in the sharding rule (route templates, per-node
+    rewrites), so every RDL mutation must drop them. Runtimes without an
+    engine (unit-test stubs) are a no-op.
+    """
+    engine = getattr(runtime, "engine", None)
+    plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
+    if plan_cache is not None:
+        plan_cache.invalidate(reason)
+
+
 # ---------------------------------------------------------------------------
 # RDL
 # ---------------------------------------------------------------------------
@@ -69,6 +82,7 @@ def _register_resource(stmt: p.RegisterResource, runtime: Runtime) -> DistSQLRes
         if name in runtime.data_sources:
             raise DistSQLError(f"resource {name!r} already registered")
         runtime.register_resource(name, props)
+    _invalidate_plans(runtime, "REGISTER RESOURCE")
     return DistSQLResult(message=f"registered {len(stmt.resources)} resource(s)")
 
 
@@ -82,6 +96,7 @@ def _unregister_resource(stmt: p.UnregisterResource, runtime: Runtime) -> DistSQ
         if in_use:
             raise DistSQLError(f"resource {name!r} is referenced by sharding rules")
         runtime.unregister_resource(name)
+    _invalidate_plans(runtime, "UNREGISTER RESOURCE")
     return DistSQLResult(message=f"unregistered {len(stmt.names)} resource(s)")
 
 
@@ -119,6 +134,10 @@ def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> 
             "props": {k: v for k, v in props.items() if not callable(v)},
         },
     )
+    _invalidate_plans(
+        runtime,
+        "ALTER SHARDING TABLE RULE" if stmt.alter else "CREATE SHARDING TABLE RULE",
+    )
     verb = "altered" if stmt.alter else "created"
     return DistSQLResult(
         message=f"{verb} sharding rule for {stmt.table} over {len(table_rule.data_nodes)} data nodes"
@@ -130,6 +149,7 @@ def _drop_sharding_rule(stmt: p.DropShardingTableRule, runtime: Runtime) -> Dist
         runtime.rule.drop_table_rule(stmt.table)
     except ShardingConfigError as exc:
         raise DistSQLError(str(exc)) from exc
+    _invalidate_plans(runtime, "DROP SHARDING TABLE RULE")
     return DistSQLResult(message=f"dropped sharding rule for {stmt.table}")
 
 
@@ -139,12 +159,14 @@ def _create_binding(stmt: p.CreateBindingRule, runtime: Runtime) -> DistSQLResul
     except ShardingConfigError as exc:
         raise DistSQLError(str(exc)) from exc
     runtime.persist_rule("binding", "+".join(sorted(stmt.tables)), {"tables": stmt.tables})
+    _invalidate_plans(runtime, "CREATE SHARDING BINDING TABLE RULES")
     return DistSQLResult(message=f"bound tables {', '.join(stmt.tables)}")
 
 
 def _create_broadcast(stmt: p.CreateBroadcastRule, runtime: Runtime) -> DistSQLResult:
     runtime.rule.add_broadcast_table(stmt.table)
     runtime.persist_rule("broadcast", stmt.table, {"table": stmt.table})
+    _invalidate_plans(runtime, "CREATE BROADCAST TABLE RULE")
     return DistSQLResult(message=f"broadcast table {stmt.table}")
 
 
@@ -164,6 +186,7 @@ def _create_rwsplit(stmt: p.CreateReadwriteSplittingRule, runtime: Runtime) -> D
     apply_rwsplit = getattr(runtime, "apply_rwsplit_rule", None)
     if apply_rwsplit is not None:
         apply_rwsplit(stmt.name, stmt.primary, stmt.replicas)
+    _invalidate_plans(runtime, "CREATE READWRITE_SPLITTING RULE")
     return DistSQLResult(message=f"readwrite-splitting rule {stmt.name} created")
 
 
@@ -326,6 +349,29 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             rows=rows,
             message=message,
         )
+    if stmt.subject == "plan_cache":
+        engine = getattr(runtime, "engine", None)
+        plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
+        if plan_cache is None:
+            return DistSQLResult(
+                columns=["sql", "hits", "templates", "state"],
+                rows=[], message="no SQL engine attached",
+            )
+        stats = plan_cache.stats()
+        message = (
+            f"{stats['size']}/{stats['capacity']} plans, "
+            f"hit rate {stats['hit_rate']:.1%} "
+            f"(hits={stats['hits']}, misses={stats['misses']}, "
+            f"bypasses={stats['bypasses']}, evictions={stats['evictions']}, "
+            f"invalidations={stats['invalidations']})"
+        )
+        if not plan_cache.enabled:
+            message += "; plan cache is DISABLED (SET VARIABLE plan_cache = on)"
+        return DistSQLResult(
+            columns=["sql", "hits", "templates", "state"],
+            rows=plan_cache.snapshot_rows(),
+            message=message,
+        )
     if stmt.subject == "failovers":
         detector = getattr(runtime, "health_detector", None)
         events = detector.failover_events if detector is not None else []
@@ -350,6 +396,7 @@ _KNOWN_VARIABLES = {
     "max_connections_per_query",
     "tracing",
     "slow_query_threshold_ms",
+    "plan_cache",
 }
 
 
@@ -397,6 +444,16 @@ def _trace(stmt: p.TraceStatement, runtime: Runtime) -> DistSQLResult:
             f"wall {trace.wall * 1000:.3f}ms, simulated {trace.simulated * 1000:.3f}ms"
         ),
     )
+
+
+def _clear_plan_cache(stmt: p.ClearPlanCache, runtime: Runtime) -> DistSQLResult:
+    engine = getattr(runtime, "engine", None)
+    plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
+    if plan_cache is None:
+        raise DistSQLError("CLEAR PLAN CACHE requires a runtime with a SQL engine")
+    dropped = len(plan_cache)
+    plan_cache.invalidate("CLEAR PLAN CACHE")
+    return DistSQLResult(message=f"cleared {dropped} plan(s)")
 
 
 def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
@@ -451,6 +508,7 @@ def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
             "props": {k: v for k, v in stmt.properties.items() if not callable(v)},
         },
     )
+    _invalidate_plans(runtime, "MIGRATE TABLE")
     return DistSQLResult(
         columns=["table", "rows_migrated", "source_nodes", "target_nodes", "consistent"],
         rows=[(stmt.table, report.rows_migrated, report.source_nodes,
@@ -473,5 +531,6 @@ _HANDLERS = {
     p.ShowVariable: _show_variable,
     p.Preview: _preview,
     p.TraceStatement: _trace,
+    p.ClearPlanCache: _clear_plan_cache,
     p.MigrateTable: _migrate_table,
 }

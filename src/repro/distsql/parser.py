@@ -148,6 +148,13 @@ class TraceStatement(DistSQLStatement):
 
 
 @dataclass
+class ClearPlanCache(DistSQLStatement):
+    """Drop every compiled plan from the engine's plan cache (RAL)."""
+
+    language = "RAL"
+
+
+@dataclass
 class MigrateTable(DistSQLStatement):
     """Online scaling: reshard a table onto a new layout (RAL)."""
 
@@ -181,6 +188,8 @@ _DIST_PREFIXES = (
     "SHOW METRICS",
     "SHOW TRACES",
     "SHOW SLOW",
+    "SHOW PLAN",
+    "CLEAR PLAN",
     "SET VARIABLE",
     "PREVIEW",
     "TRACE ",
@@ -188,10 +197,22 @@ _DIST_PREFIXES = (
 )
 
 
+# First-word dispatch: plain SQL (SELECT/INSERT/UPDATE/DELETE/...) exits
+# on one dict miss instead of scanning every prefix. Only the leading
+# slice is normalized — this runs on every statement of the hot path.
+_PREFIXES_BY_WORD: dict[str, tuple[str, ...]] = {}
+for _prefix in _DIST_PREFIXES:
+    _word = _prefix.split(" ", 1)[0]
+    _PREFIXES_BY_WORD[_word] = _PREFIXES_BY_WORD.get(_word, ()) + (_prefix,)
+
+
 def is_distsql(sql: str) -> bool:
     """Cheap syntactic check: is this statement DistSQL (vs plain SQL)?"""
-    head = " ".join(sql.strip().upper().split())
-    return any(head.startswith(prefix) for prefix in _DIST_PREFIXES)
+    head = " ".join(sql.lstrip()[:96].upper().split())
+    prefixes = _PREFIXES_BY_WORD.get(head.split(" ", 1)[0] if head else "")
+    if prefixes is None:
+        return False
+    return any(head.startswith(prefix) for prefix in prefixes)
 
 
 def parse_distsql(sql: str) -> DistSQLStatement:
@@ -318,6 +339,10 @@ class _Parser:
             name = self._expect_name()
             self._expect_eq()
             return SetVariable(name=name, value=self._value())
+        if self._accept_word("CLEAR"):
+            self._expect_word("PLAN")
+            self._expect_word("CACHE")
+            return ClearPlanCache()
         if self._accept_word("MIGRATE"):
             self._expect_word("TABLE")
             rule = self._sharding_table_rule(alter=False)
@@ -448,4 +473,7 @@ class _Parser:
         if self._accept_word("SLOW"):
             self._expect_word("QUERIES")
             return ShowStatement(subject="slow_queries")
+        if self._accept_word("PLAN"):
+            self._expect_word("CACHE")
+            return ShowStatement(subject="plan_cache")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

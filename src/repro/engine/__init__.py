@@ -15,6 +15,7 @@ from .merger import (
     merge,
 )
 from .pipeline import EngineResult, Feature, SQLEngine
+from .plan import CompiledPlan, ParamRef, PlanCache, compile_plan
 from .resilience import (
     BreakerRegistry,
     CircuitBreaker,
@@ -45,6 +46,10 @@ __all__ = [
     "SQLEngine",
     "EngineResult",
     "Feature",
+    "CompiledPlan",
+    "PlanCache",
+    "ParamRef",
+    "compile_plan",
     "ResiliencePolicy",
     "CircuitBreaker",
     "CircuitState",

@@ -40,6 +40,10 @@ class StatementContext:
     #: keys generated for INSERT (column, one value per row), for callers
     generated_keys: tuple[str, list[Any]] | None = None
     hint_values: list[Any] | None = None
+    #: True when two predicates on one sharding column were intersected;
+    #: the plan cache refuses such statements (the intersection result
+    #: depends on the bound parameter values).
+    merged_conditions: bool = False
 
     @property
     def category(self) -> str:
@@ -164,7 +168,11 @@ def _const_value(expr: ast.Expression, params: tuple[Any, ...]) -> tuple[bool, A
 def _merge_condition(context: StatementContext, logic: str, value: ShardingValue) -> None:
     table_conditions = context.conditions.setdefault(logic, {})
     existing = table_conditions.get(value.column)
-    table_conditions[value.column] = existing.intersect(value) if existing else value
+    if existing is not None:
+        context.merged_conditions = True
+        table_conditions[value.column] = existing.intersect(value)
+    else:
+        table_conditions[value.column] = value
 
 
 def _note_equality(predicate: ast.BinaryOp, rule: ShardingRule, context: StatementContext) -> None:

@@ -260,10 +260,6 @@ class ExecutionEngine:
                 for unit in units
             }
 
-        groups: dict[str, list[ExecutionUnit]] = {}
-        for unit in units:
-            groups.setdefault(unit.data_source, []).append(unit)
-
         # Fast path: one unit on one source runs on the calling thread —
         # the dominant OLTP case (point selects / PK writes), where worker
         # dispatch would double the per-statement cost.
@@ -338,6 +334,10 @@ class ExecutionEngine:
                 source.pool.release(connection)
             self.metrics.statements += 1
             return result
+
+        groups: dict[str, list[ExecutionUnit]] = {}
+        for unit in units:
+            groups.setdefault(unit.data_source, []).append(unit)
 
         futures: list[tuple[str, Future]] = []
         for ds_name, group in groups.items():

@@ -13,13 +13,16 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
+from ..cache import LruCache
 from ..exceptions import RouteError, ShardingSphereError
 from ..sharding import ShardingRule
 from ..sql import ast, parse
+from ..sql.formatter import format_statement
 from ..storage import Connection, DataSource
 from .context import StatementContext, build_context
 from .executor import ConnectionMode, ExecutionEngine, ExecutionResult
 from .merger import MergedResult, MergeSpec, merge
+from .plan import CompiledPlan, PlanCache, compile_plan
 from .resilience import REROUTABLE_ERRORS, ResiliencePolicy
 from .rewriter import ExecutionUnit, RewriteResult, rewrite
 from .router import RouteResult, route
@@ -38,6 +41,13 @@ class Feature:
 
     #: short identifier used in SHOW output and diagnostics
     name = "feature"
+
+    #: True when every hook leaves statement ASTs untouched, so executions
+    #: may take the plan-cache hot path (hooks still run against the
+    #: immutable cached AST). Any registered feature with the conservative
+    #: default False — e.g. encrypt, which rewrites statements in
+    #: ``on_context`` — disables plan caching engine-wide while present.
+    plan_cache_safe = False
 
     def on_context(self, context: StatementContext) -> None:
         """Inspect/mutate the statement context before routing."""
@@ -120,13 +130,18 @@ class SQLEngine:
         )
         #: attached via attach_observability; None = no metrics/trace cost
         self.observability: "Observability | None" = None
-        self._parse_cache: dict[str, ast.Statement] = {}
+        self._parse_cache: LruCache[str, ast.Statement] = LruCache(self._PARSE_CACHE_LIMIT)
+        #: compiled plans for parameterized statements (the hot path)
+        self.plan_cache = PlanCache()
+        self._plan_safe_features = True
+        self._refresh_plan_safety()
 
     def attach_observability(self, observability: "Observability") -> None:
         """Wire tracing, stage metrics and pool gauges into this engine."""
         self.observability = observability
         self.executor.observability = observability
         observability.register_execution_metrics(self.executor.metrics)
+        observability.register_plan_cache(self.plan_cache)
         for name, source in self.data_sources.items():
             observability.watch_pool(name, source.pool)
 
@@ -135,9 +150,16 @@ class SQLEngine:
 
     def add_feature(self, feature: Feature) -> None:
         self.features.append(feature)
+        self._refresh_plan_safety()
+        self.plan_cache.invalidate(f"feature added: {feature.name}")
 
     def remove_feature(self, name: str) -> None:
         self.features = [f for f in self.features if f.name != name]
+        self._refresh_plan_safety()
+        self.plan_cache.invalidate(f"feature removed: {name}")
+
+    def _refresh_plan_safety(self) -> None:
+        self._plan_safe_features = all(f.plan_cache_safe for f in self.features)
 
     def _dialect_of(self, data_source: str):
         return self.data_sources[data_source].dialect
@@ -162,7 +184,7 @@ class SQLEngine:
     _PARSE_CACHE_LIMIT = 2048
 
     def _parse_cached(self, sql: str) -> ast.Statement:
-        """Parse with a per-engine statement cache.
+        """Parse with a per-engine bounded LRU statement cache.
 
         Cached ASTs are cloned before use because downstream stages mutate
         statements in place (INSERT key generation, encrypt rewrites).
@@ -170,9 +192,7 @@ class SQLEngine:
         cached = self._parse_cache.get(sql)
         if cached is None:
             cached = parse(sql)
-            if len(self._parse_cache) >= self._PARSE_CACHE_LIMIT:
-                self._parse_cache.clear()
-            self._parse_cache[sql] = cached
+            self._parse_cache.put(sql, cached)
         return ast.clone_statement(cached)
 
     # ------------------------------------------------------------------
@@ -289,6 +309,39 @@ class SQLEngine:
         timed = weight > 0
         stages: dict[str, float] = {}
 
+        plan_cache = self.plan_cache
+        use_plans = (
+            plan_cache.enabled
+            and self._plan_safe_features
+            and hint_values is None
+            and isinstance(sql, str)
+        )
+        compile_after_parse = False
+        if use_plans:
+            plan = plan_cache.get(sql)  # type: ignore[arg-type]
+            if plan is None:
+                plan_cache.misses += 1
+                compile_after_parse = True
+            elif not plan.cacheable or len(params) < plan.param_count:
+                plan_cache.bypasses += 1
+            else:
+                plan_cache.hits += 1
+                plan.hits += 1
+                try:
+                    return self._execute_plan(
+                        plan, params, held_connections, trace, stages, timed, weight
+                    )
+                except _PlanRouteError as exc:
+                    # The route template proved unusable at bind time (e.g.
+                    # the statement needs the federation fallback). Demote
+                    # to a negative entry and take the slow path.
+                    plan_cache.mark_uncacheable(sql, f"route: {exc.error}")  # type: ignore[arg-type]
+                    if trace is not None:
+                        trace.root.add_event(
+                            "plan_cache_fallback", error=type(exc.error).__name__
+                        )
+                    stages = {}
+
         t0 = time.perf_counter() if timed else 0.0
         span = trace.start_span("parse") if trace is not None else None
         if isinstance(sql, str):
@@ -296,7 +349,17 @@ class SQLEngine:
             sql_text = sql
         else:
             statement = sql
-            sql_text = ""
+            # Render pre-parsed statements back to SQL once so diagnostics
+            # (slow-query log, PREVIEW, traces) never show empty text.
+            try:
+                sql_text = format_statement(statement)
+            except Exception:
+                sql_text = type(statement).__name__
+
+        if statement.category == "DDL":
+            plan_cache.invalidate("DDL")
+        if compile_after_parse:
+            plan_cache.store(compile_plan(sql, statement, self.rule))  # type: ignore[arg-type]
 
         context = build_context(statement, sql_text, params, self.rule, hint_values)
         for feature in self.features:
@@ -324,6 +387,9 @@ class SQLEngine:
                     now = time.perf_counter()
                     stages["route"] = now - t0
                     t0 = now
+                if use_plans:
+                    # A federated statement can never run from a plan.
+                    plan_cache.mark_uncacheable(sql, "federation fallback")  # type: ignore[arg-type]
                 span = trace.start_span("federation") if trace is not None else None
                 result = self._federated(context)
                 if span is not None:
@@ -362,12 +428,80 @@ class SQLEngine:
             stages["rewrite"] = now - t0
             t0 = now
 
-        is_query = isinstance(statement, ast.SelectStatement)
+        return self._run_units(
+            context, route_result.route_type, units, rewrite_result.merge_spec,
+            held_connections, trace, stages, timed, weight,
+        )
+
+    def _execute_plan(
+        self,
+        plan: CompiledPlan,
+        params: Sequence[Any],
+        held_connections: Mapping[str, Connection] | None,
+        trace: "Trace | None",
+        stages: dict[str, float],
+        timed: bool,
+        weight: int,
+    ) -> EngineResult:
+        """Hot path: bind parameters into a compiled plan.
+
+        Replaces parse, context build, route and rewrite (and the per-hit
+        AST clone) with condition binding + shard-key -> data-node mapping
+        + a rewrite-template lookup. Feature hooks still run — against the
+        immutable cached AST, which ``plan_cache_safe`` features never
+        mutate — so admission guards (circuit breaker, throttle) and unit
+        redirection (read-write splitting, shadow) keep working.
+        """
+        params = tuple(params)
+        t0 = time.perf_counter() if timed else 0.0
+        span = trace.start_span("plan_cache_hit") if trace is not None else None
+        conditions = plan.bind_conditions(params)
+        context = plan.make_context(params, conditions)
+        for feature in self.features:
+            feature.on_context(context)
+        try:
+            route_result = plan.route_bound(conditions, self.rule, lambda: context)
+        except RouteError as exc:
+            if span is not None:
+                span.finish(error=exc)
+            raise _PlanRouteError(exc) from exc
+        for feature in self.features:
+            feature.on_route(route_result, context)
+        units, merge_spec = plan.build_units(route_result, params, self._dialect_of)
+        for feature in self.features:
+            feature.on_units(units, context)
+        if span is not None:
+            span.attributes["route_type"] = route_result.route_type
+            span.attributes["units"] = len(units)
+            span.finish()
+        if timed:
+            stages["plan_cache_hit"] = time.perf_counter() - t0
+        return self._run_units(
+            context, route_result.route_type, units, merge_spec,
+            held_connections, trace, stages, timed, weight,
+        )
+
+    def _run_units(
+        self,
+        context: StatementContext,
+        route_type: str,
+        units: list[ExecutionUnit],
+        merge_spec: MergeSpec | None,
+        held_connections: Mapping[str, Connection] | None,
+        trace: "Trace | None",
+        stages: dict[str, float],
+        timed: bool,
+        weight: int,
+    ) -> EngineResult:
+        """Shared execute+merge tail of both the slow and plan-hit paths."""
+        observability = self.observability
+        is_query = isinstance(context.statement, ast.SelectStatement)
+        t0 = time.perf_counter() if timed else 0.0
         span = trace.start_span("execute") if trace is not None else None
         try:
             execution = self.executor.execute(
                 units, is_query, held_connections,
-                route_type=route_result.route_type,
+                route_type=route_type,
                 trace=trace, parent_span=span,
             )
         except Exception as exc:
@@ -386,7 +520,7 @@ class SQLEngine:
         result = EngineResult(
             update_count=execution.update_count,
             generated_keys=context.generated_keys,
-            route_type=route_result.route_type,
+            route_type=route_type,
             unit_count=len(units),
             modes=dict(execution.modes),
             units=list(units),
@@ -396,7 +530,7 @@ class SQLEngine:
         if is_query:
             t0 = time.perf_counter() if timed else 0.0
             span = trace.start_span("merge") if trace is not None else None
-            spec = rewrite_result.merge_spec or MergeSpec(is_query=True, single_node=True)
+            spec = merge_spec or MergeSpec(is_query=True, single_node=True)
             merged = merge(spec, execution.results)
             result.merged = MergedResult(
                 columns=merged.columns,
@@ -415,12 +549,20 @@ class SQLEngine:
 
         if observability is not None:
             observability.on_statement(
-                stages, route_result.route_type, len(units), error=False,
+                stages, route_type, len(units), error=False,
                 weight=weight,
             )
         for feature in self.features:
             feature.on_result(result, context)
         return result
+
+
+class _PlanRouteError(Exception):
+    """Internal: a compiled plan's route template failed at bind time."""
+
+    def __init__(self, error: RouteError):
+        super().__init__(str(error))
+        self.error = error
 
 
 def _releasing(rows, execution: ExecutionResult):

@@ -46,13 +46,14 @@ class ExecutionUnit:
     __slots__ = ("data_source", "params", "statement", "unit", "dialect", "_sql")
 
     def __init__(self, data_source: str, params: tuple[Any, ...],
-                 statement: ast.Statement, unit: RouteUnit, dialect: Dialect):
+                 statement: ast.Statement, unit: RouteUnit, dialect: Dialect,
+                 sql: str | None = None):
         self.data_source = data_source
         self.params = params
         self.statement = statement
         self.unit = unit
         self.dialect = dialect
-        self._sql: str | None = None
+        self._sql: str | None = sql
 
     @property
     def sql(self) -> str:

@@ -41,6 +41,8 @@ class CircuitBreakerFeature(Feature):
     """
 
     name = "circuit_breaker"
+    # Admission guard only (may veto in on_context); never mutates the AST.
+    plan_cache_safe = True
 
     def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0):
         self.breaker = CircuitBreaker(failure_threshold, reset_timeout, name="global")
@@ -89,6 +91,8 @@ class ThrottleFeature(Feature):
     """Token bucket: at most ``rate`` statements/second, bursts up to ``burst``."""
 
     name = "throttle"
+    # Admission guard only; never mutates the AST.
+    plan_cache_safe = True
 
     def __init__(self, rate: float, burst: int | None = None):
         if rate <= 0:

@@ -137,6 +137,9 @@ class EncryptFeature(Feature):
     """Pipeline hook applying the encrypt rule."""
 
     name = "encrypt"
+    # Rewrites column refs and literals in the statement AST during
+    # on_context, so plans compiled from the raw AST would be wrong.
+    plan_cache_safe = False
 
     def __init__(self, rule: EncryptRule):
         self.rule = rule

@@ -79,6 +79,9 @@ class ReadWriteSplittingFeature(Feature):
     """Redirect read units to replicas, writes to the primary."""
 
     name = "readwrite_splitting"
+    # Redirects fresh per-execution RouteUnits/ExecutionUnits only;
+    # never touches the statement AST.
+    plan_cache_safe = True
 
     def __init__(
         self,

@@ -33,6 +33,8 @@ class ShadowFeature(Feature):
     """Redirect shadow-marked statements to shadow data sources."""
 
     name = "shadow"
+    # Inspects WHERE/params and redirects units; never mutates the AST.
+    plan_cache_safe = True
 
     def __init__(self, rule: ShadowRule):
         self.rule = rule

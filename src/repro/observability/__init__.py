@@ -40,7 +40,7 @@ if TYPE_CHECKING:
     from ..storage.pool import ConnectionPool
 
 #: pipeline stages in execution order (used by SHOW METRICS and --profile)
-STAGES = ("parse", "route", "rewrite", "execute", "merge", "federation")
+STAGES = ("parse", "route", "rewrite", "plan_cache_hit", "execute", "merge", "federation")
 
 
 class Observability:
@@ -204,6 +204,10 @@ class Observability:
     def register_execution_metrics(self, metrics: Any) -> None:
         """Fold the executor's ad-hoc counters into the registry (pull)."""
         self.registry.register_collector(metrics.families, key=metrics)
+
+    def register_plan_cache(self, plan_cache: Any) -> None:
+        """Expose plan-cache hit/miss/invalidation counters (pull)."""
+        self.registry.register_collector(plan_cache.families, key=plan_cache)
 
     # -- reporting ------------------------------------------------------------
 

@@ -103,12 +103,15 @@ class StandardShardingStrategy(ShardingStrategy):
         self.algorithm = algorithm
 
     def route(self, targets: Sequence[str], conditions: Mapping[str, ShardingValue]) -> list[str]:
-        condition = conditions.get(self.column.lower())
+        condition = conditions.get(self.columns[0])
         if condition is None:
             return list(targets)
         if condition.is_precise:
+            values = condition.values
+            if len(values) == 1:  # type: ignore[arg-type]  # point lookup
+                return [self.algorithm.do_sharding(targets, values[0])]  # type: ignore[index]
             seen: dict[str, None] = {}
-            for value in condition.values:  # type: ignore[union-attr]
+            for value in values:  # type: ignore[union-attr]
                 seen.setdefault(self.algorithm.do_sharding(targets, value))
             return list(seen)
         low, high = condition.range_  # type: ignore[misc]
@@ -204,6 +207,7 @@ class TableRule:
             key = node.table.lower()
             self._node_by_table[key] = None if key in self._node_by_table else node
             self._tables_by_ds.setdefault(node.data_source, []).append(node.table)
+        self._data_source_names = list(self._tables_by_ds)
         if auto and any(n is None for n in self._node_by_table.values()):
             raise ShardingConfigError(
                 f"AutoTable rule {logic_table!r} requires unique actual table names"
@@ -213,10 +217,7 @@ class TableRule:
 
     @property
     def data_source_names(self) -> list[str]:
-        seen: dict[str, None] = {}
-        for node in self.data_nodes:
-            seen.setdefault(node.data_source)
-        return list(seen)
+        return self._data_source_names
 
     @property
     def actual_table_names(self) -> list[str]:

@@ -539,3 +539,18 @@ def clone_statement(stmt: Statement) -> Statement:
     if isinstance(stmt, ShowStatement):
         return ShowStatement(subject=stmt.subject)
     raise TypeError(f"cannot clone statement of type {type(stmt).__name__}")
+
+
+def fingerprint_statement(stmt: Statement) -> str:
+    """Stable structural fingerprint of a statement AST.
+
+    The plan cache records a fingerprint at compile time so tests (and
+    debugging) can assert that a cached, shared AST was never mutated by
+    a downstream stage — the invariant the whole cache rests on.
+    """
+    import hashlib
+
+    from .formatter import format_statement
+
+    digest = hashlib.sha256(format_statement(stmt).encode("utf-8"))
+    return digest.hexdigest()[:16]

@@ -1,0 +1,115 @@
+"""Deep-clone coverage for ``ast.clone_statement``.
+
+The plan cache shares one immutable AST across executions, and the
+rewriter mutates clones in place (table renames, parameter renumbering,
+derived columns) — so a shallow clone that aliases any node would
+corrupt every later execution of the same SQL text. Each case clones,
+mutates every mutable node class reachable in the clone, and asserts the
+original still renders byte-identically.
+"""
+
+import pytest
+
+from repro.sql import ast, parse
+from repro.sql.formatter import format_statement
+
+CASES = [
+    "SELECT uid, name FROM t_user WHERE uid = ?",
+    "SELECT u.name, o.amount FROM t_user u JOIN t_order o ON u.uid = o.uid "
+    "WHERE u.uid = ? AND o.amount > 5.0",
+    "SELECT uid, COUNT(*) AS n FROM t_order WHERE amount BETWEEN ? AND ? "
+    "GROUP BY uid HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 10 OFFSET 2",
+    "SELECT name FROM t_user WHERE uid IN (?, ?, ?) ORDER BY name",
+    "SELECT DISTINCT age FROM t_user WHERE name = ? FOR UPDATE",
+    "INSERT INTO t_user (uid, name, age) VALUES (?, ?, ?), (?, ?, ?)",
+    "UPDATE t_user SET name = ?, age = age + 1 WHERE uid = ?",
+    "DELETE FROM t_order WHERE uid = ? AND amount < ?",
+]
+
+
+def _mutate_everything(stmt: ast.Statement) -> None:
+    """Aggressively rewrite every node kind the rewriter touches."""
+    for table in stmt.tables():
+        table.name = "mutated_" + table.name
+        table.alias = "zz"
+    for expr in _expressions(stmt):
+        for node in expr.walk():
+            if isinstance(node, ast.Placeholder):
+                node.index += 100
+            elif isinstance(node, ast.Literal):
+                node.value = "poisoned"
+            elif isinstance(node, ast.ColumnRef):
+                node.name = "mutated_" + node.name
+    if isinstance(stmt, ast.SelectStatement):
+        stmt.select_items.append(
+            ast.SelectItem(ast.ColumnRef("extra", None), "extra", True)
+        )
+        stmt.order_by.clear()
+        stmt.group_by.clear()
+        stmt.limit = None
+    elif isinstance(stmt, ast.InsertStatement):
+        stmt.columns.append("extra_col")
+        stmt.values_rows.append([ast.Literal(0)])
+    elif isinstance(stmt, ast.UpdateStatement):
+        stmt.assignments.clear()
+
+
+def _expressions(stmt: ast.Statement):
+    if isinstance(stmt, ast.SelectStatement):
+        for item in stmt.select_items:
+            yield item.expression
+        for join in stmt.joins:
+            if join.condition is not None:
+                yield join.condition
+        if stmt.where is not None:
+            yield stmt.where
+        yield from stmt.group_by
+        if stmt.having is not None:
+            yield stmt.having
+        for item in stmt.order_by:
+            yield item.expression
+    elif isinstance(stmt, ast.InsertStatement):
+        for row in stmt.values_rows:
+            yield from row
+    elif isinstance(stmt, ast.UpdateStatement):
+        for _, value in stmt.assignments:
+            yield value
+        if stmt.where is not None:
+            yield stmt.where
+    elif isinstance(stmt, ast.DeleteStatement):
+        if stmt.where is not None:
+            yield stmt.where
+
+
+@pytest.mark.parametrize("sql", CASES)
+def test_clone_is_fully_detached(sql):
+    original = parse(sql)
+    rendered = format_statement(original)
+    fingerprint = ast.fingerprint_statement(original)
+
+    clone = ast.clone_statement(original)
+    assert format_statement(clone) == rendered  # faithful copy ...
+    _mutate_everything(clone)
+
+    # ... and mutating the clone never leaks back into the original
+    assert format_statement(original) == rendered
+    assert ast.fingerprint_statement(original) == fingerprint
+
+
+@pytest.mark.parametrize("sql", CASES)
+def test_clone_of_clone_round_trips(sql):
+    original = parse(sql)
+    twice = ast.clone_statement(ast.clone_statement(original))
+    assert format_statement(twice) == format_statement(original)
+
+
+def test_clone_preserves_placeholder_indexes():
+    stmt = parse("SELECT name FROM t_user WHERE uid = ? AND age > ?")
+    clone = ast.clone_statement(stmt)
+    indexes = [
+        node.index
+        for expr in _expressions(clone)
+        for node in expr.walk()
+        if isinstance(node, ast.Placeholder)
+    ]
+    assert indexes == [0, 1]
