@@ -122,6 +122,7 @@ class ShardingRuntime:
             self.rule.default_data_source = name
         self.config_center.register_data_source(name, {"dialect": dialect.name})
         self.observability.watch_pool(name, source.pool)
+        self.observability.register_storage_plan_cache(name, source.database.plan_cache)
         return source
 
     def add_resource(self, name: str, source: DataSource) -> None:
@@ -131,6 +132,7 @@ class ShardingRuntime:
             self.rule.default_data_source = name
         self.config_center.register_data_source(name, {"dialect": source.dialect.name})
         self.observability.watch_pool(name, source.pool)
+        self.observability.register_storage_plan_cache(name, source.database.plan_cache)
 
     def unregister_resource(self, name: str) -> None:
         source = self.data_sources.pop(name, None)

@@ -127,8 +127,23 @@ def _plan_cache_stats(system):
     return plan_cache.stats() if plan_cache is not None else None
 
 
+def _storage_plan_stats(system):
+    """Storage plan-cache counters summed across data sources, or None."""
+    runtime = getattr(system, "runtime", None)
+    sources = getattr(runtime, "data_sources", None) if runtime is not None else None
+    if not sources:
+        return None
+    total = {"size": 0, "capacity": 0, "hits": 0, "misses": 0,
+             "bypasses": 0, "evictions": 0, "invalidations": 0}
+    for source in sources.values():
+        stats = source.database.plan_cache.stats()
+        for key in total:
+            total[key] += stats[key]
+    return total
+
+
 def print_profile_report(system, observability, measurement, args,
-                         plan_before=None) -> None:
+                         plan_before=None, storage_before=None) -> None:
     profile = observability.stage_profile()
     rows = [
         (stage, int(stats["count"]), round(stats["avg"] * 1000, 3),
@@ -175,6 +190,28 @@ def print_profile_report(system, observability, measurement, args,
             f"plan cache: hit rate {hit_rate:.1%} "
             f"(hits={delta['hits']}, misses={delta['misses']}, "
             f"bypasses={delta['bypasses']}, size={plan_after['size']})"
+        )
+    storage_after = _storage_plan_stats(system)
+    if storage_after is not None:
+        before = storage_before or {}
+        delta = {
+            key: storage_after[key] - before.get(key, 0)
+            for key in ("hits", "misses", "bypasses", "evictions", "invalidations")
+        }
+        total = delta["hits"] + delta["misses"] + delta["bypasses"]
+        hit_rate = delta["hits"] / total if total else 0.0
+        payload["storage_plan_cache"] = {
+            **delta,
+            "size": storage_after["size"],
+            "capacity": storage_after["capacity"],
+            "hit_rate": round(hit_rate, 4),
+        }
+        print(
+            f"storage plan cache: hit rate {hit_rate:.1%} "
+            f"(hits={delta['hits']}, misses={delta['misses']}, "
+            f"bypasses={delta['bypasses']}, "
+            f"invalidations={delta['invalidations']}, "
+            f"size={storage_after['size']})"
         )
     with open(args.profile_output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -234,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         injector = enable_chaos(system, args) if args.chaos else None
         observability = enable_profile(system, args) if args.profile else None
         plan_before = _plan_cache_stats(system) if args.profile else None
+        storage_before = _storage_plan_stats(system) if args.profile else None
         try:
             measurement = run_benchmark(
                 system,
@@ -249,7 +287,8 @@ def main(argv: list[str] | None = None) -> int:
         if injector is not None:
             print_chaos_report(system, injector)
         if observability is not None:
-            print_profile_report(system, observability, measurement, args, plan_before)
+            print_profile_report(system, observability, measurement, args,
+                                 plan_before, storage_before)
         return 0
 
     workload = TPCCWorkload(TPCCConfig(warehouses=args.warehouses))
@@ -261,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     injector = enable_chaos(system, args) if args.chaos else None
     observability = enable_profile(system, args) if args.profile else None
     plan_before = _plan_cache_stats(system) if args.profile else None
+    storage_before = _storage_plan_stats(system) if args.profile else None
     try:
         measurement = run_benchmark(
             system,
@@ -278,7 +318,8 @@ def main(argv: list[str] | None = None) -> int:
     if injector is not None:
         print_chaos_report(system, injector)
     if observability is not None:
-        print_profile_report(system, observability, measurement, args, plan_before)
+        print_profile_report(system, observability, measurement, args,
+                             plan_before, storage_before)
     return 0
 
 

@@ -203,6 +203,11 @@ class ExecutionEngine:
             self._closed = True
             self._pool.shutdown(wait=False)
 
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> "Future[Any]":
+        """Run work on the engine's shared worker pool (e.g. federation
+        materialization fan-out)."""
+        return self._pool.submit(fn, *args, **kwargs)
+
     def add_listener(self, listener: EventListener) -> None:
         self.listeners.append(listener)
 

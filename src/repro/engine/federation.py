@@ -14,13 +14,13 @@ conjuncts are pushed down so each shard ships only matching rows.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+import threading
+from typing import TYPE_CHECKING
 
 from ..exceptions import UnsupportedSQLError
 from ..sql import ast
 from ..storage.database import Database
 from ..storage.executor import QueryResult, execute_statement
-from ..storage.transaction import Transaction
 from .context import StatementContext
 
 if TYPE_CHECKING:
@@ -30,14 +30,43 @@ if TYPE_CHECKING:
 MAX_FEDERATION_ROWS = 500_000
 
 
+class _RowBudget:
+    """Exact shared row-count guard for concurrent materialization.
+
+    Every pulled row is charged under a lock, so the limit cannot be
+    overshot by racing per-table tasks losing each other's counts; the
+    first task to cross it raises and the others are surfaced via their
+    futures.
+    """
+
+    __slots__ = ("limit", "_count", "_lock")
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def charge(self, rows: int = 1) -> None:
+        with self._lock:
+            self._count += rows
+            if self._count > self.limit:
+                raise UnsupportedSQLError(
+                    f"federated query would materialize more than "
+                    f"{self.limit} rows; add narrowing predicates"
+                )
+
+
 def federate_select(engine: "SQLEngine", context: StatementContext) -> QueryResult:
-    """Execute a SELECT by materializing each referenced table locally."""
+    """Execute a SELECT by materializing each referenced table locally.
+
+    Per-table pulls are independent, so they fan out over the engine's
+    worker pool; a single-table statement stays on the calling thread.
+    """
     statement = context.statement
     if not isinstance(statement, ast.SelectStatement):
         raise UnsupportedSQLError("only SELECT statements can be federated")
 
     scratch = Database("federation")
-    txn = Transaction(scratch)
     # Predicates on the nullable side of an outer join filter *after* the
     # join produces NULLs; pushing them below the join would change results.
     no_pushdown = {
@@ -45,17 +74,35 @@ def federate_select(engine: "SQLEngine", context: StatementContext) -> QueryResu
         for join in statement.joins
         if join.kind in ("LEFT", "RIGHT", "FULL")
     }
-    total = 0
+    refs: list[ast.TableRef] = []
+    seen: set[str] = set()
     for ref in statement.tables():
-        if scratch.has_table(ref.name):
+        if ref.name.lower() in seen:
             continue
-        pushdown_ok = ref.exposed_name.lower() not in no_pushdown
-        total += _materialize(engine, context, ref, scratch, txn, pushdown_ok)
-        if total > MAX_FEDERATION_ROWS:
-            raise UnsupportedSQLError(
-                f"federated query would materialize more than "
-                f"{MAX_FEDERATION_ROWS} rows; add narrowing predicates"
+        seen.add(ref.name.lower())
+        refs.append(ref)
+    budget = _RowBudget(MAX_FEDERATION_ROWS)
+    if len(refs) <= 1:
+        for ref in refs:
+            pushdown_ok = ref.exposed_name.lower() not in no_pushdown
+            _materialize(engine, context, ref, scratch, budget, pushdown_ok)
+    else:
+        futures = [
+            engine.executor.submit(
+                _materialize, engine, context, ref, scratch, budget,
+                ref.exposed_name.lower() not in no_pushdown,
             )
+            for ref in refs
+        ]
+        first_error: Exception | None = None
+        for future in futures:
+            try:
+                future.result()
+            except Exception as exc:  # collect all; every task must finish
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
     return execute_statement(scratch, statement, context.params)
 
 
@@ -64,11 +111,10 @@ def _materialize(
     context: StatementContext,
     ref: ast.TableRef,
     scratch: Database,
-    txn: Transaction,
+    budget: _RowBudget,
     pushdown_ok: bool = True,
 ) -> int:
     """Copy one logic table's (filtered) rows into the scratch database."""
-    rule = engine.rule
     logic = ref.name
     nodes = _nodes_of(engine, logic)
     schema = None
@@ -91,6 +137,7 @@ def _materialize(
             cursor = connection.execute(per_shard, context.params)
             columns = cursor.columns
             for row in cursor:
+                budget.charge()
                 target.insert(dict(zip(columns, row)))
                 fetched += 1
         finally:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Protocol, Sequence
 
 from ..exceptions import MergeError
-from ..storage.expression import sort_key
+from ..storage.expression import OrderToken, sort_key
 
 
 class ShardResult(Protocol):
@@ -148,22 +148,8 @@ def _resolve_key(key: int | str, columns: list[str]) -> int:
     raise MergeError(f"cannot resolve merge key {key!r} in columns {columns}")
 
 
-class _OrderToken:
-    """Sort token honoring per-key direction (desc inverts comparisons)."""
-
-    __slots__ = ("key", "desc")
-
-    def __init__(self, value: Any, desc: bool):
-        self.key = sort_key(value)
-        self.desc = desc
-
-    def __lt__(self, other: "_OrderToken") -> bool:
-        if self.desc:
-            return other.key < self.key
-        return self.key < other.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _OrderToken) and self.key == other.key
+# Direction-aware sort token shared with the storage layer.
+_OrderToken = OrderToken
 
 
 def _row_token(row: tuple[Any, ...], order_indexes: list[tuple[int, bool]]) -> tuple:

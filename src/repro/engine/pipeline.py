@@ -144,6 +144,7 @@ class SQLEngine:
         observability.register_plan_cache(self.plan_cache)
         for name, source in self.data_sources.items():
             observability.watch_pool(name, source.pool)
+            observability.register_storage_plan_cache(name, source.database.plan_cache)
 
     def close(self) -> None:
         self.executor.close()

@@ -189,7 +189,12 @@ class CompiledPlan:
                         nodes = memo.get((column, values[0]))
                         if nodes is None:
                             nodes = table_rule.route(table_conditions)
-                            if len(memo) < 8192:
+                            # Sized to cover a full OLTP key space (e.g.
+                            # sysbench's 20k ids): entries are a tiny
+                            # tuple -> node-list pair, and saturating the
+                            # memo at ~40% of the key space forfeits most
+                            # of the hot-path win.
+                            if len(memo) < 65536:
                                 memo[(column, values[0])] = nodes
                     except TypeError:  # unhashable parameter value
                         nodes = None
@@ -246,6 +251,10 @@ class CompiledPlan:
                 placeholder.index = position
             dialect = dialect_of(unit.data_source)
             sql = format_statement(statement, dialect)
+            # Stable cache key for the storage engine's compiled-plan layer:
+            # every execution of this template reuses one storage plan per
+            # data node instead of re-interpreting the AST.
+            statement.storage_plan_key = sql
             template = UnitTemplate(statement, dialect, param_order, sql)
             self._templates[key] = template
             return template

@@ -209,6 +209,12 @@ class Observability:
         """Expose plan-cache hit/miss/invalidation counters (pull)."""
         self.registry.register_collector(plan_cache.families, key=plan_cache)
 
+    def register_storage_plan_cache(self, source: str, cache: Any) -> None:
+        """Expose one data source's compiled storage-plan cache (pull)."""
+        self.registry.register_collector(
+            lambda: cache.families(source), key=(cache, source)
+        )
+
     # -- reporting ------------------------------------------------------------
 
     def stage_profile(self) -> dict[str, dict[str, float]]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import datetime
+import functools
 import hashlib
 import re
 from typing import Any, Callable, Iterable, Sequence
@@ -44,17 +45,29 @@ class ShardingAlgorithm(abc.ABC):
     # -- helpers shared by suffix-matching algorithms ----------------------
 
     @staticmethod
+    @functools.lru_cache(maxsize=1024)
+    def _suffix_map(targets: tuple[str, ...]) -> dict[int, str]:
+        """numeric-suffix -> target, first target wins on duplicates."""
+        mapping: dict[int, str] = {}
+        for target in targets:
+            match = re.search(r"(\d+)$", target)
+            if match is not None:
+                mapping.setdefault(int(match.group(1)), target)
+        return mapping
+
+    @staticmethod
     def pick_by_index(targets: Sequence[str], index: int) -> str:
         """Match a shard index to a target by its numeric suffix.
 
         Mirrors ShardingSphere's convention of actual tables named
         ``t_user_0``, ``t_user_1``: the target whose trailing number equals
         ``index`` wins; with no suffix match, fall back positionally.
+        The per-target suffix parse is memoized: routing runs this on
+        every statement, the regex only on new target sets.
         """
-        for target in targets:
-            match = re.search(r"(\d+)$", target)
-            if match is not None and int(match.group(1)) == index:
-                return target
+        target = ShardingAlgorithm._suffix_map(tuple(targets)).get(index)
+        if target is not None:
+            return target
         ordered = sorted(targets)
         return ordered[index % len(ordered)]
 

@@ -12,6 +12,7 @@ from .engine import DataSource
 from .executor import QueryResult, execute_statement
 from .faults import FaultInjector, FaultKind, FaultProfile
 from .latency import LatencyModel
+from .plans import StoragePlan, StoragePlanCache, execute_planned
 from .pool import ConnectionPool
 from .schema import Column, TableSchema
 from .table import Table
@@ -31,6 +32,9 @@ __all__ = [
     "ConnectionPool",
     "QueryResult",
     "execute_statement",
+    "StoragePlan",
+    "StoragePlanCache",
+    "execute_planned",
     "Transaction",
     "TxnStatus",
     "commit_prepared",

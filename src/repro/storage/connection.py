@@ -20,8 +20,9 @@ from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..exceptions import ConnectionClosedError, ConnectionDropError, TransactionError
 from ..sql import ast, parse
-from .executor import QueryResult, execute_statement
+from .executor import QueryResult
 from .latency import pay
+from .plans import execute_planned
 from .transaction import Transaction, commit_prepared, rollback_prepared
 
 if TYPE_CHECKING:
@@ -175,7 +176,9 @@ class Connection:
                     with self.database.write_lock():
                         if span is not None:
                             span.record_lock_wait(time.perf_counter() - lock_t0)
-                        result = execute_statement(self.database, stmt, params, txn)
+                        result, plan_status = execute_planned(self.database, stmt, params, txn)
+                        if span is not None:
+                            span.attributes["storage_plan"] = plan_status
                 except Exception:
                     if implicit:
                         txn.rollback()
@@ -206,7 +209,9 @@ class Connection:
                     )
             return result
 
-        result = execute_statement(self.database, stmt, params, self._transaction)
+        result, plan_status = execute_planned(self.database, stmt, params, self._transaction)
+        if span is not None:
+            span.attributes["storage_plan"] = plan_status
         if result.cost > 0:
             pay_t0 = time.perf_counter() if span is not None else 0.0
             with self.data_source.io_semaphore:
@@ -249,14 +254,47 @@ class Cursor:
     def execute(self, sql: str | ast.Statement, params: Sequence[Any] = ()) -> "Cursor":
         if self._closed:
             raise ConnectionClosedError("cursor is closed")
-        stmt = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(sql, str):
+            stmt = parse(sql)
+            # Key the database's compiled-plan cache by SQL text so every
+            # cursor executing this statement shares one storage plan.
+            stmt.storage_plan_key = sql
+        else:
+            stmt = sql
         self._result = self.connection._run(stmt, params)
         self._rows = iter(self._result.rows)
         return self
 
-    def executemany(self, sql: str, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
+    def executemany(self, sql: str | ast.Statement, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
+        """Execute once per parameter row, parsing/planning only once.
+
+        Reports the cumulative rowcount across all bindings (DB-API
+        semantics); the streamed rows are those of the last execution.
+        """
+        if self._closed:
+            raise ConnectionClosedError("cursor is closed")
+        if isinstance(sql, str):
+            stmt = parse(sql)
+            stmt.storage_plan_key = sql
+        else:
+            stmt = sql
+        total = 0
+        counted = False
+        result: QueryResult | None = None
         for params in seq_of_params:
-            self.execute(sql, params)
+            result = self.connection._run(stmt, params)
+            if result.rowcount >= 0:
+                counted = True
+                total += result.rowcount
+        if result is None:
+            self._result = QueryResult(rowcount=0)
+        else:
+            self._result = QueryResult(
+                columns=result.columns, rows=result.rows,
+                rowcount=total if counted else -1, cost=result.cost,
+                written_table=result.written_table,
+            )
+        self._rows = iter(self._result.rows)
         return self
 
     # -- fetching ---------------------------------------------------------------------

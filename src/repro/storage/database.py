@@ -20,6 +20,7 @@ from ..exceptions import (
 )
 from ..sql import ast
 from .latency import LatencyModel
+from .plans import StoragePlanCache
 from .schema import TableSchema
 from .table import Table
 
@@ -34,9 +35,25 @@ class Database:
         self._lock = threading.RLock()
         self._prepared: dict[str, Any] = {}
         self._fail_on: dict[str, int] = {}
+        #: per-table monotonic schema versions; compiled storage plans pin
+        #: the versions they were built against. Entries are never removed
+        #: (DROP leaves the counter behind) so DROP + CREATE invalidates.
+        self._schema_versions: dict[str, int] = {}
+        #: compiled statement plans for this database (see .plans).
+        self.plan_cache = StoragePlanCache()
         #: optional probabilistic chaos source (see :mod:`repro.storage.faults`);
         #: set via ``DataSource.set_fault_injector`` and shared fleet-wide.
         self.fault_injector: Any | None = None
+
+    # -- schema versions (compiled-plan invalidation) -----------------------
+
+    def schema_version(self, name: str) -> int:
+        return self._schema_versions.get(name.lower(), 0)
+
+    def bump_schema_version(self, name: str) -> None:
+        with self._lock:
+            key = name.lower()
+            self._schema_versions[key] = self._schema_versions.get(key, 0) + 1
 
     # -- failure injection (tests / recovery experiments) ------------------
 
@@ -49,6 +66,12 @@ class Database:
             self._fail_on[operation] = self._fail_on.get(operation, 0) + times
 
     def maybe_fail(self, operation: str) -> None:
+        # Fast path: no pending failures and no injector. Read without the
+        # lock — both are set before the workload that should observe them
+        # runs, so the race-free guarantee of the lock is not needed just
+        # to see "nothing armed", and this check runs on every statement.
+        if not self._fail_on and self.fault_injector is None:
+            return
         with self._lock:
             remaining = self._fail_on.get(operation, 0)
             if remaining > 0:
@@ -77,6 +100,7 @@ class Database:
                 raise TableAlreadyExistsError(f"table {schema.name!r} already exists in {self.name}")
             table = Table(schema)
             self._tables[key] = table
+            self.bump_schema_version(key)
             return table
 
     def create_table_from_ast(self, stmt: ast.CreateTableStatement) -> Table:
@@ -90,6 +114,7 @@ class Database:
                     return
                 raise TableNotFoundError(f"table {name!r} not found in {self.name}")
             del self._tables[key]
+            self.bump_schema_version(key)
 
     def table(self, name: str) -> Table:
         try:

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 from ..exceptions import ExecutionError, StorageError, UnsupportedSQLError
 from ..sql import ast
 from ..sql.formatter import format_expression
-from .expression import UNKNOWN, evaluate, is_truthy, sort_key
+from .expression import UNKNOWN, OrderToken, evaluate, is_truthy, sort_key
 from .table import Table
 
 if TYPE_CHECKING:
@@ -67,10 +67,12 @@ def execute_statement(
     if isinstance(stmt, ast.CreateIndexStatement):
         table = database.table(stmt.table.name)
         table.create_index(stmt.index_name, stmt.columns, unique=stmt.unique)
+        database.bump_schema_version(stmt.table.name)
         return QueryResult(rowcount=0)
     if isinstance(stmt, ast.TruncateStatement):
         table = database.table(stmt.table.name)
         count = table.truncate()
+        database.bump_schema_version(stmt.table.name)
         return QueryResult(rowcount=count)
     raise UnsupportedSQLError(f"storage engine cannot execute {type(stmt).__name__}")
 
@@ -100,12 +102,27 @@ def _execute_select(database: "Database", stmt: ast.SelectStatement, params: Seq
             rows = (r for r in rows if is_truthy(evaluate(having, r, params)))
 
     if stmt.order_by:
+        # Single composite-key sort (one pass) instead of one stable sort
+        # per key in reverse; OrderToken folds per-key DESC into the key.
         materialized = list(rows)
-        for item in reversed(stmt.order_by):
-            expr = item.expression
+        specs = [(item.expression, item.desc) for item in stmt.order_by]
+        if len(specs) == 1:
+            expr, desc = specs[0]
             materialized.sort(
                 key=lambda r: sort_key(_order_value(expr, r, stmt, params)),
-                reverse=item.desc,
+                reverse=desc,
+            )
+        elif not any(desc for _, desc in specs):
+            materialized.sort(
+                key=lambda r: tuple(
+                    sort_key(_order_value(e, r, stmt, params)) for e, _ in specs
+                )
+            )
+        else:
+            materialized.sort(
+                key=lambda r: tuple(
+                    OrderToken(_order_value(e, r, stmt, params), d) for e, d in specs
+                )
             )
         rows = iter(materialized)
 
@@ -124,7 +141,8 @@ def _order_value(expr: ast.Expression, row: dict[str, Any], stmt: ast.SelectStat
     if isinstance(expr, ast.ColumnRef) and expr.table is None:
         for item in stmt.select_items:
             if item.alias and item.alias.lower() == expr.name.lower():
-                return evaluate(item.expression, row, params)
+                value = evaluate(item.expression, row, params)
+                return None if value is UNKNOWN else value
     value = evaluate(expr, row, params)
     return None if value is UNKNOWN else value
 

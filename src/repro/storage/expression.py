@@ -305,3 +305,26 @@ def sort_key(value: Any):
     if isinstance(value, datetime.datetime):
         return (2, value.isoformat())
     return (2, str(value))
+
+
+class OrderToken:
+    """Sort token honoring per-key direction (desc inverts comparisons).
+
+    Lets a single composite-key sort handle mixed ASC/DESC ORDER BY
+    instead of one stable sort pass per key. Shared by the storage
+    executor, compiled plans and the engine's merge layer.
+    """
+
+    __slots__ = ("key", "desc")
+
+    def __init__(self, value: Any, desc: bool):
+        self.key = sort_key(value)
+        self.desc = desc
+
+    def __lt__(self, other: "OrderToken") -> bool:
+        if self.desc:
+            return other.key < self.key
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrderToken) and self.key == other.key

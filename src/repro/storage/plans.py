@@ -1,0 +1,995 @@
+"""Compiled storage plans: statement -> closure pipeline, cached per database.
+
+The middleware's plan cache (PR 3) made parse/route/rewrite nearly free,
+which left the embedded storage engine as the bottleneck: ``executor.py``
+re-derives the access path, rebuilds per-row namespace dicts and recurses
+over the WHERE AST for every execution. This module applies the same
+compile-once idea one layer down.
+
+A :class:`StoragePlan` is compiled once per statement against a
+database's current schema and fuses:
+
+- **access-path selection** — the ``_select_row_ids`` / ``_try_index``
+  decision tree runs at compile time and leaves behind a point / range /
+  IN / composite-key / scan closure bound directly to the index objects;
+- **tuple-row pipelines** — WHERE / HAVING predicates, join conditions,
+  projection, ORDER BY keys and aggregate accumulators are compiled to
+  closures over raw value tuples with precomputed column offsets (no
+  ``_namespaced`` dict churn per row);
+- **an order-preserving path** — when a sorted index already yields rows
+  in ORDER BY order the sort stage is dropped entirely.
+
+Plans pin the schema versions of every referenced table
+(:meth:`Database.schema_version`); DDL, DROP/CREATE, CREATE INDEX and
+TRUNCATE bump versions, so a stale plan is recompiled on its next use
+instead of serving wrong offsets. Statements carry an optional
+``storage_plan_key`` attribute (the rendered SQL text) set by the
+middleware's rewrite templates and by ``Cursor``; statements without one
+are cached by object identity and only compiled on their second sighting
+so one-shot ASTs don't churn the cache.
+
+Compiled and interpreted execution return identical rows/rowcounts; any
+shape the compiler cannot prove equivalent falls back to the interpreter
+(and is negatively cached so the attempt isn't repeated).
+
+Known, deliberate cost-model nuance: the interpreter decides constness of
+``-?`` (unary minus over a placeholder) per execution based on the bound
+value's type; compiled access paths treat it as non-constant. Row results
+are unaffected (the full WHERE is always re-checked), only the
+used-index latency accounting can differ for that rare shape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from ..cache import LruCache
+from ..exceptions import StorageError
+from ..sql import ast
+from ..sql.formatter import format_expression
+from .compiler import (
+    CannotCompile,
+    CompileContext,
+    Getter,
+    RowLayout,
+    compile_predicate,
+    compile_scalar,
+)
+from .executor import (
+    QueryResult,
+    _collect_aggregates,
+    _conjuncts,
+    _equi_join_columns,
+    _freeze,
+    _local_column,
+    execute_statement,
+)
+from .expression import UNKNOWN, OrderToken, sort_key
+from .table import Table
+
+if TYPE_CHECKING:
+    from .database import Database
+    from .transaction import Transaction
+
+_PLAN_KINDS = (ast.SelectStatement, ast.UpdateStatement, ast.DeleteStatement)
+
+
+class StoragePlan:
+    """One compiled statement: schema-version-pinned closure pipeline."""
+
+    __slots__ = ("kind", "statement", "versions", "param_count", "runner")
+
+    def __init__(self, kind: str, statement: ast.Statement,
+                 versions: tuple[tuple[str, int], ...], param_count: int,
+                 runner: Callable[[Sequence[Any], "Transaction | None"], QueryResult]):
+        self.kind = kind
+        self.statement = statement
+        self.versions = versions
+        self.param_count = param_count
+        self.runner = runner
+
+    def execute(self, params: Sequence[Any],
+                transaction: "Transaction | None" = None) -> QueryResult:
+        return self.runner(params, transaction)
+
+
+class _Negative:
+    """Cached decision that a statement stays on the interpreter."""
+
+    __slots__ = ("statement", "versions", "reason")
+
+    def __init__(self, statement: ast.Statement,
+                 versions: tuple[tuple[str, int], ...], reason: str):
+        self.statement = statement
+        self.versions = versions
+        self.reason = reason
+
+
+class _Seen:
+    """First sighting of an identity-keyed AST; compile on the second."""
+
+    __slots__ = ("statement",)
+
+    def __init__(self, statement: ast.Statement):
+        self.statement = statement
+
+
+class StoragePlanCache:
+    """Bounded LRU of compiled storage plans for one database.
+
+    Keyed by the statement's ``storage_plan_key`` (rendered SQL text) when
+    present, else by AST object identity (with the statement strongly
+    referenced in the entry, so a recycled ``id()`` can never serve
+    another statement's plan).
+    """
+
+    def __init__(self, capacity: int = 512):
+        self._cache: LruCache[Any, Any] = LruCache(capacity)
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.invalidations = 0
+
+    def stats(self) -> dict[str, Any]:
+        base = self._cache.stats()
+        return {
+            "size": base["size"],
+            "capacity": base["capacity"],
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": base["evictions"],
+            "invalidations": self.invalidations,
+        }
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def families(self, source: str = "-"):
+        """Metric families for the observability registry."""
+        labels = {"source": source}
+        events = {
+            "hit": self.hits,
+            "miss": self.misses,
+            "bypass": self.bypasses,
+            "invalidation": self.invalidations,
+            "eviction": self._cache.evictions,
+        }
+        return [
+            (
+                "storage_plan_cache_events_total",
+                "counter",
+                "storage plan cache events by kind",
+                [({**labels, "event": kind}, float(value))
+                 for kind, value in events.items()],
+            ),
+            (
+                "storage_plan_cache_size",
+                "gauge",
+                "compiled storage plans currently cached",
+                [(labels, float(len(self._cache)))],
+            ),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Cache-mediated execution (the Connection entry point)
+# ---------------------------------------------------------------------------
+
+
+def execute_planned(
+    database: "Database",
+    stmt: ast.Statement,
+    params: Sequence[Any] = (),
+    transaction: "Transaction | None" = None,
+) -> tuple[QueryResult, str]:
+    """Execute via a compiled plan when possible.
+
+    Returns ``(result, status)`` where status is one of ``hit`` / ``miss``
+    (compiled now) / ``bypass`` (interpreted) / ``off``.
+    """
+    cache = database.plan_cache
+    if not cache.enabled:
+        return execute_statement(database, stmt, params, transaction), "off"
+    if not isinstance(stmt, _PLAN_KINDS):
+        # INSERT / DDL / TCL: no compiled form; skip all cache traffic so
+        # write-heavy workloads don't churn markers through the LRU.
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    key = getattr(stmt, "storage_plan_key", None)
+    identity = key is None
+    if identity:
+        key = ("id", id(stmt))
+    entry = cache._cache.get(key)
+    if identity and entry is not None and entry.statement is not stmt:
+        entry = None  # id() recycled by the allocator: dead statement's slot
+    if entry is None:
+        if identity:
+            # One-shot ASTs (cold middleware path, ad-hoc queries) are not
+            # worth a compile; promote only statements seen twice.
+            cache._cache.put(key, _Seen(stmt))
+            cache.bypasses += 1
+            return execute_statement(database, stmt, params, transaction), "bypass"
+        return _compile_into(cache, key, database, stmt, params, transaction)
+    if isinstance(entry, _Seen):
+        return _compile_into(cache, key, database, stmt, params, transaction)
+    if not _versions_current(database, entry.versions):
+        cache.invalidations += 1
+        return _compile_into(cache, key, database, stmt, params, transaction)
+    if isinstance(entry, _Negative):
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    if len(params) < entry.param_count:
+        # The interpreter resolves short binds per evaluation (with
+        # short-circuiting); defer to it rather than model that here.
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    cache.hits += 1
+    return entry.execute(params, transaction), "hit"
+
+
+def _compile_into(cache: StoragePlanCache, key: Any, database: "Database",
+                  stmt: ast.Statement, params: Sequence[Any],
+                  transaction: "Transaction | None") -> tuple[QueryResult, str]:
+    entry = _compile_entry(database, stmt)
+    cache._cache.put(key, entry)
+    if isinstance(entry, _Negative):
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    if len(params) < entry.param_count:
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    cache.misses += 1
+    return entry.execute(params, transaction), "miss"
+
+
+def _versions_current(database: "Database",
+                      versions: tuple[tuple[str, int], ...]) -> bool:
+    current = database.schema_version
+    for name, version in versions:
+        if current(name) != version:
+            return False
+    return True
+
+
+def _compile_entry(database: "Database", stmt: ast.Statement):
+    """Compile to a StoragePlan, or a version-pinned _Negative on failure."""
+    if isinstance(stmt, ast.SelectStatement):
+        names = [ref.name for ref in stmt.tables()]
+    else:
+        names = [stmt.table.name]
+    pinned: dict[str, int] = {}
+    for name in names:
+        pinned.setdefault(name.lower(), database.schema_version(name))
+    versions = tuple(pinned.items())
+    try:
+        return compile_storage_plan(database, stmt, versions)
+    except CannotCompile as exc:
+        return _Negative(stmt, versions, str(exc))
+    except Exception as exc:  # missing table/column, unsupported shapes:
+        # the interpreter raises the canonical error on the fallback run.
+        return _Negative(stmt, versions, f"{type(exc).__name__}: {exc}")
+
+
+def compile_storage_plan(database: "Database", stmt: ast.Statement,
+                         versions: tuple[tuple[str, int], ...]) -> StoragePlan:
+    if isinstance(stmt, ast.SelectStatement):
+        runner, param_count = _compile_select(database, stmt)
+        kind = "select"
+    elif isinstance(stmt, ast.UpdateStatement):
+        runner, param_count = _compile_update(database, stmt)
+        kind = "update"
+    elif isinstance(stmt, ast.DeleteStatement):
+        runner, param_count = _compile_delete(database, stmt)
+        kind = "delete"
+    else:
+        raise CannotCompile(f"statement type {type(stmt).__name__}")
+    return StoragePlan(kind, stmt, versions, param_count, runner)
+
+
+# ---------------------------------------------------------------------------
+# Access paths (compile-time mirror of executor._select_row_ids)
+# ---------------------------------------------------------------------------
+
+
+class _AccessPath:
+    __slots__ = ("run", "ordered_by", "is_scan")
+
+    def __init__(self, run: Callable[[Sequence[Any]], tuple[list[int], bool]],
+                 ordered_by: str | None, is_scan: bool):
+        self.run = run
+        self.ordered_by = ordered_by  # lower-cased column the ids ascend by
+        self.is_scan = is_scan
+
+
+def _const_getter(expr: ast.Expression) -> Callable[[Sequence[Any]], Any] | None:
+    """Compile-time mirror of executor._const (see module docstring for
+    the unary-minus-over-placeholder nuance)."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda params: value
+    if isinstance(expr, ast.Placeholder):
+        index = expr.index
+        return lambda params: params[index]
+    if (isinstance(expr, ast.UnaryOp) and expr.op == "-"
+            and isinstance(expr.operand, ast.Literal)
+            and isinstance(expr.operand.value, (int, float))):
+        negated = -expr.operand.value
+        return lambda params: negated
+    return None
+
+
+_RANGE_BOUNDS = {
+    "<": lambda v: (None, v, True, False),
+    "<=": lambda v: (None, v, True, True),
+    ">": lambda v: (v, None, False, True),
+    ">=": lambda v: (v, None, True, True),
+}
+
+
+def _compile_access(table: Table, exposed: str,
+                    where: ast.Expression | None) -> _AccessPath:
+    if where is not None:
+        predicates = list(_conjuncts(where))
+        equalities: dict[str, Callable[[Sequence[Any]], Any]] = {}
+        for predicate in predicates:
+            if isinstance(predicate, ast.BinaryOp) and predicate.op == "=":
+                for col_expr, val_expr in (
+                    (predicate.left, predicate.right),
+                    (predicate.right, predicate.left),
+                ):
+                    column = _local_column(col_expr, table, exposed)
+                    if column is None:
+                        continue
+                    getter = _const_getter(val_expr)
+                    if getter is not None:
+                        equalities[column.lower()] = getter
+                    break
+        if len(equalities) >= 2:
+            index = table.covering_index(set(equalities))
+            if index is not None:
+                pairs = tuple(equalities.items())
+
+                def run_composite(params: Sequence[Any]) -> tuple[list[int], bool]:
+                    values = {col: g(params) for col, g in pairs}
+                    return sorted(index.lookup_values(values)), True
+
+                return _AccessPath(run_composite, None, False)
+        for predicate in predicates:
+            path = _compile_try_index(table, exposed, predicate)
+            if path is not None:
+                return path
+    return _AccessPath(lambda params: (table.row_ids(), False), None, True)
+
+
+def _compile_try_index(table: Table, exposed: str,
+                       predicate: ast.Expression) -> _AccessPath | None:
+    if isinstance(predicate, ast.BinaryOp) and predicate.op in ("=", "<", ">", "<=", ">="):
+        column = _local_column(predicate.left, table, exposed)
+        value_expr = predicate.right
+        op = predicate.op
+        if column is None:
+            column = _local_column(predicate.right, table, exposed)
+            value_expr = predicate.left
+            op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        if column is None:
+            return None
+        getter = _const_getter(value_expr)
+        if getter is None:
+            return None
+        if op == "=":
+            hash_index = table.equality_index(column)
+            if hash_index is not None:
+                def run_point(params: Sequence[Any]) -> tuple[list[int], bool]:
+                    return sorted(hash_index.lookup(getter(params))), True
+
+                return _AccessPath(run_point, None, False)
+            sorted_index = table.sorted_index(column)
+            if sorted_index is not None:
+                def run_eq_range(params: Sequence[Any]) -> tuple[list[int], bool]:
+                    value = getter(params)
+                    return list(sorted_index.range(value, value)), True
+
+                return _AccessPath(run_eq_range, None, False)
+            return None
+        sorted_index = table.sorted_index(column)
+        if sorted_index is None:
+            return None
+        bounds = _RANGE_BOUNDS[op]
+
+        def run_range(params: Sequence[Any]) -> tuple[list[int], bool]:
+            return list(sorted_index.range(*bounds(getter(params)))), True
+
+        return _AccessPath(run_range, column.lower(), False)
+    if isinstance(predicate, ast.InExpr) and not predicate.negated:
+        column = _local_column(predicate.operand, table, exposed)
+        if column is None or column.lower() not in table.indexed_columns():
+            return None
+        getters = []
+        for item in predicate.items:
+            getter = _const_getter(item)
+            if getter is None:
+                return None
+            getters.append(getter)
+        hash_index = table.equality_index(column)
+        if hash_index is None:
+            return None
+        in_getters = tuple(getters)
+
+        def run_in(params: Sequence[Any]) -> tuple[list[int], bool]:
+            ids: list[int] = []
+            for g in in_getters:
+                found = hash_index.lookup(g(params))
+                if found:
+                    ids.extend(found)
+            return sorted(set(ids)), True
+
+        return _AccessPath(run_in, None, False)
+    if isinstance(predicate, ast.BetweenExpr) and not predicate.negated:
+        column = _local_column(predicate.operand, table, exposed)
+        if column is None:
+            return None
+        low_getter = _const_getter(predicate.low)
+        high_getter = _const_getter(predicate.high)
+        if low_getter is None or high_getter is None:
+            return None
+        sorted_index = table.sorted_index(column)
+        if sorted_index is None:
+            return None
+
+        def run_between(params: Sequence[Any]) -> tuple[list[int], bool]:
+            return list(sorted_index.range(low_getter(params), high_getter(params))), True
+
+        return _AccessPath(run_between, column.lower(), False)
+    return None
+
+
+def _reversed_path(path: _AccessPath) -> _AccessPath:
+    inner = path.run
+
+    def run(params: Sequence[Any]) -> tuple[list[int], bool]:
+        ids, used_index = inner(params)
+        ids = list(ids)
+        ids.reverse()
+        return ids, used_index
+
+    return _AccessPath(run, path.ordered_by, path.is_scan)
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+def _compile_select(database: "Database", stmt: ast.SelectStatement):
+    if stmt.from_table is None:
+        raise CannotCompile("SELECT without FROM")
+    base_ref = stmt.from_table
+    base_table = database.table(base_ref.name)
+    layout = RowLayout()
+    layout.add(base_ref.exposed_name, base_table.schema.column_names)
+
+    access = _compile_access(base_table, base_ref.exposed_name, stmt.where)
+
+    scan_ctx = CompileContext("scan", layout)
+    join_steps = []
+    join_tables: list[Table] = []
+    for join in stmt.joins:
+        join_steps.append(_compile_join(database, join, layout, scan_ctx))
+        join_tables.append(database.table(join.table.name))
+    where_pred = (compile_predicate(stmt.where, scan_ctx)
+                  if stmt.where is not None else None)
+
+    # Aggregate mode is decided by select-list aggregates (mirrors
+    # _execute_select); the accumulator slots also cover HAVING/ORDER BY
+    # aggregates (mirrors _collect_aggregates).
+    has_agg = bool(stmt.group_by or stmt.aggregates())
+    aggregates = _collect_aggregates(stmt) if has_agg else []
+    contexts = [scan_ctx]
+
+    if has_agg:
+        agg_slots = {format_expression(call): i for i, call in enumerate(aggregates)}
+        out_ctx = CompileContext("group", layout, agg_slots)
+        contexts.append(out_ctx)
+        agg_specs = tuple(_CompiledAgg(call, scan_ctx) for call in aggregates)
+        group_getters = tuple(compile_scalar(e, scan_ctx) for e in stmt.group_by)
+        having_pred = (compile_predicate(stmt.having, out_ctx)
+                       if stmt.having is not None else None)
+        aggregate_stage = _make_aggregate_stage(agg_specs, group_getters, having_pred)
+        plain_having = None
+    else:
+        out_ctx = scan_ctx
+        aggregate_stage = None
+        plain_having = (compile_predicate(stmt.having, scan_ctx)
+                        if stmt.having is not None else None)
+
+    # ORDER BY: resolve select-list aliases like executor._order_value,
+    # then compile each key in the output context.
+    order_specs: list[tuple[Getter, bool, ast.Expression]] = []
+    for item in stmt.order_by:
+        expr = item.expression
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for select_item in stmt.select_items:
+                if select_item.alias and select_item.alias.lower() == expr.name.lower():
+                    expr = select_item.expression
+                    break
+        order_specs.append((compile_scalar(expr, out_ctx), item.desc, expr))
+
+    # Order-preserving access: when a sorted index already yields the
+    # single ORDER BY key's order, drop the sort stage (and for a plain
+    # scan, walk the index instead of the heap — same rows, no sort).
+    sort_stage = _make_sort_stage(order_specs)
+    if order_specs and len(order_specs) == 1 and not has_agg and not stmt.joins:
+        key_expr = order_specs[0][2]
+        desc = order_specs[0][1]
+        if isinstance(key_expr, ast.ColumnRef):
+            column = _local_column(key_expr, base_table, base_ref.exposed_name)
+            if column is not None:
+                lower = column.lower()
+                ordered = None
+                if access.ordered_by == lower:
+                    ordered = access
+                elif access.is_scan:
+                    sorted_index = base_table.sorted_index(column)
+                    if sorted_index is not None:
+                        def run_ordered_scan(params: Sequence[Any],
+                                             _index=sorted_index) -> tuple[list[int], bool]:
+                            return list(_index.range(None, None)), False
+
+                        ordered = _AccessPath(run_ordered_scan, lower, True)
+                if ordered is not None:
+                    access = _reversed_path(ordered) if desc else ordered
+                    sort_stage = None
+
+    distinct_stage = (_make_distinct_stage(stmt, out_ctx, has_agg)
+                      if stmt.distinct else None)
+
+    if stmt.limit is not None:
+        const_ctx = CompileContext("const")
+        contexts.append(const_ctx)
+        limit_stage = _make_limit_stage(stmt.limit, const_ctx)
+    else:
+        limit_stage = None
+
+    columns, project = _compile_projection(stmt, database, layout, out_ctx, has_agg)
+
+    latency = database.latency
+    use_where_inline = not stmt.joins  # join plans filter after all joins
+
+    def base_stream(row_ids: list[int], params: Sequence[Any]) -> Iterator[tuple]:
+        get = base_table.get
+        inline = where_pred if use_where_inline else None
+        for row_id in row_ids:
+            try:
+                raw = get(row_id)
+            except KeyError:
+                continue
+            row = tuple(raw.values())
+            if inline is None or inline(row, params):
+                yield row
+
+    def run(params: Sequence[Any],
+            transaction: "Transaction | None" = None) -> QueryResult:
+        row_ids, used_index = access.run(params)
+        base_rows = base_table.row_count
+        examined = len(row_ids) if used_index else base_rows
+        for join_table in join_tables:
+            examined += join_table.row_count
+        cost = latency.statement_cost(base_rows, examined, used_index)
+
+        rows: Iterator[Any] = base_stream(row_ids, params)
+        for step in join_steps:
+            rows = step(rows, params)
+        if join_steps and where_pred is not None:
+            pred = where_pred
+            rows = (r for r in rows if pred(r, params))
+        if aggregate_stage is not None:
+            rows = aggregate_stage(rows, params)
+        elif plain_having is not None:
+            having = plain_having
+            rows = (r for r in rows if having(r, params))
+        if sort_stage is not None:
+            materialized = list(rows)
+            sort_stage(materialized, params)
+            rows = iter(materialized)
+        if distinct_stage is not None:
+            rows = distinct_stage(rows, params)
+        if limit_stage is not None:
+            rows = limit_stage(rows, params)
+        return QueryResult(columns=columns,
+                           rows=(project(r, params) for r in rows), cost=cost)
+
+    param_count = max(ctx.param_count for ctx in contexts)
+    return run, param_count
+
+
+def _order_norm(value: Any) -> Any:
+    return None if value is UNKNOWN else value
+
+
+def _make_sort_stage(order_specs):
+    if not order_specs:
+        return None
+    if len(order_specs) == 1:
+        getter, desc, _ = order_specs[0]
+
+        def sort_single(materialized: list, params: Sequence[Any]) -> None:
+            materialized.sort(
+                key=lambda r: sort_key(_order_norm(getter(r, params))),
+                reverse=desc,
+            )
+
+        return sort_single
+    if not any(desc for _, desc, _ in order_specs):
+        getters = tuple(g for g, _, _ in order_specs)
+
+        def sort_ascending(materialized: list, params: Sequence[Any]) -> None:
+            materialized.sort(
+                key=lambda r: tuple(sort_key(_order_norm(g(r, params)))
+                                    for g in getters)
+            )
+
+        return sort_ascending
+    specs = tuple((g, desc) for g, desc, _ in order_specs)
+
+    def sort_mixed(materialized: list, params: Sequence[Any]) -> None:
+        materialized.sort(
+            key=lambda r: tuple(OrderToken(_order_norm(g(r, params)), d)
+                                for g, d in specs)
+        )
+
+    return sort_mixed
+
+
+def _compile_join(database: "Database", join: ast.Join, layout: RowLayout,
+                  ctx: CompileContext):
+    if join.kind == "RIGHT":
+        raise CannotCompile("RIGHT JOIN")
+    right_table = database.table(join.table.name)
+    right_name = join.table.exposed_name
+    right_cols = right_table.schema.column_names
+    right_width = len(right_cols)
+    left_join = join.kind == "LEFT"
+
+    eq = _equi_join_columns(join.condition, right_name) if join.condition else None
+    left_key: Getter | None = None
+    key_pos: int | None = None
+    if eq is not None:
+        left_expr, right_col = eq
+        try:
+            # The interpreter's bucket build reads raw.get(b.name): exact
+            # key match. A miss buckets every row under None, which the
+            # left-key `is not None` guard then never matches.
+            key_pos = right_cols.index(right_col)
+        except ValueError:
+            key_pos = None
+        try:
+            left_key = compile_scalar(left_expr, ctx)
+        except CannotCompile:
+            # The interpreter maps per-row resolution errors to key=None;
+            # statically unresolvable means that happens for every row.
+            left_key = None
+
+    layout.add(right_name, right_cols)
+    condition = (compile_predicate(join.condition, ctx)
+                 if join.condition is not None else None)
+    null_row = (None,) * right_width
+
+    if eq is not None:
+        def hash_join(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+            right_rows = [tuple(raw.values()) for _, raw in right_table.scan()]
+            buckets: dict[Any, list[tuple]] = {}
+            if key_pos is None:
+                buckets[None] = right_rows
+            else:
+                for right_row in right_rows:
+                    buckets.setdefault(_freeze(right_row[key_pos]), []).append(right_row)
+            for left in rows:
+                if left_key is None:
+                    key = None
+                else:
+                    try:
+                        key = _freeze(left_key(left, params))
+                    except StorageError:
+                        key = None
+                matched = buckets.get(key, ()) if key is not None else ()
+                emitted = False
+                for right_row in matched:
+                    combined = left + right_row
+                    if condition is None or condition(combined, params):
+                        emitted = True
+                        yield combined
+                if not emitted and left_join:
+                    yield left + null_row
+
+        return hash_join
+
+    def nested_loop(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+        right_rows = [tuple(raw.values()) for _, raw in right_table.scan()]
+        for left in rows:
+            emitted = False
+            for right_row in right_rows:
+                combined = left + right_row
+                if condition is None or condition(combined, params):
+                    emitted = True
+                    yield combined
+            if not emitted and left_join:
+                yield left + null_row
+
+    return nested_loop
+
+
+class _CompiledAgg:
+    """Compiled accumulator mirroring executor._AggState.
+
+    State is a 5-slot list: [count, total, minimum, maximum, distinct_set].
+    """
+
+    __slots__ = ("name", "count_star", "distinct", "arg")
+
+    def __init__(self, call: ast.FunctionCall, ctx: CompileContext):
+        self.name = call.name.upper()
+        if self.name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise CannotCompile(f"aggregate {self.name!r}")
+        self.count_star = (self.name == "COUNT" and bool(call.args)
+                           and isinstance(call.args[0], ast.Star))
+        self.distinct = call.distinct
+        self.arg = (compile_scalar(call.args[0], ctx)
+                    if call.args and not self.count_star else None)
+
+    def new_state(self) -> list:
+        return [0, None, None, None, set() if self.distinct else None]
+
+    def accumulate(self, state: list, row: Any, params: Sequence[Any]) -> None:
+        if self.count_star:
+            state[0] += 1
+            return
+        value = self.arg(row, params) if self.arg is not None else None
+        if value is None or value is UNKNOWN:
+            return
+        if state[4] is not None:
+            frozen = _freeze(value)
+            if frozen in state[4]:
+                return
+            state[4].add(frozen)
+        state[0] += 1
+        name = self.name
+        if name in ("SUM", "AVG"):
+            state[1] = value if state[1] is None else state[1] + value
+        elif name == "MIN":
+            state[2] = value if state[2] is None else min(state[2], value, key=sort_key)
+        elif name == "MAX":
+            state[3] = value if state[3] is None else max(state[3], value, key=sort_key)
+
+    def result(self, state: list) -> Any:
+        name = self.name
+        if name == "COUNT":
+            return state[0]
+        if name == "SUM":
+            return state[1]
+        if name == "AVG":
+            return None if state[0] == 0 or state[1] is None else state[1] / state[0]
+        if name == "MIN":
+            return state[2]
+        return state[3]
+
+
+def _make_aggregate_stage(agg_specs, group_getters, having_pred):
+    def aggregate(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+        groups: dict[tuple, tuple] = {}
+        order: list[tuple] = []
+        for row in rows:
+            if group_getters:
+                key = tuple(_freeze(g(row, params)) for g in group_getters)
+            else:
+                key = ()
+            state = groups.get(key)
+            if state is None:
+                state = (row, [spec.new_state() for spec in agg_specs])
+                groups[key] = state
+                order.append(key)
+            states = state[1]
+            for spec, agg_state in zip(agg_specs, states):
+                spec.accumulate(agg_state, row, params)
+        if not groups and not group_getters:
+            # Aggregates over empty input still yield one row (COUNT -> 0);
+            # sample=None makes column refs raise like the interpreter.
+            groups[()] = (None, [spec.new_state() for spec in agg_specs])
+            order.append(())
+        for key in order:
+            sample, states = groups[key]
+            out = (sample, tuple(spec.result(agg_state)
+                                 for spec, agg_state in zip(agg_specs, states)))
+            if having_pred is None or having_pred(out, params):
+                yield out
+
+    return aggregate
+
+
+def _make_distinct_stage(stmt: ast.SelectStatement, ctx: CompileContext,
+                         has_agg: bool):
+    key_getters: list[Getter | None] = []
+    for item in stmt.select_items:
+        if isinstance(item.expression, ast.Star):
+            key_getters.append(None)  # whole-row component
+        else:
+            key_getters.append(compile_scalar(item.expression, ctx))
+    getters = tuple(key_getters)
+
+    if has_agg:
+        def whole_row(row: Any) -> Any:
+            sample = (tuple(_freeze(v) for v in row[0])
+                      if row[0] is not None else None)
+            return (sample, tuple(_freeze(v) for v in row[1]))
+    else:
+        def whole_row(row: Any) -> Any:
+            return tuple(_freeze(v) for v in row)
+
+    def distinct(rows: Iterator[Any], params: Sequence[Any]) -> Iterator[Any]:
+        seen: set[tuple] = set()
+        for row in rows:
+            key = tuple(
+                whole_row(row) if g is None else _freeze(g(row, params))
+                for g in getters
+            )
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    return distinct
+
+
+def _make_limit_stage(limit: ast.Limit, ctx: CompileContext):
+    offset_getter = (compile_scalar(limit.offset, ctx)
+                     if limit.offset is not None else None)
+    count_getter = (compile_scalar(limit.count, ctx)
+                    if limit.count is not None else None)
+
+    def apply_limit(rows: Iterator[Any], params: Sequence[Any]) -> Iterator[Any]:
+        offset = int(offset_getter(None, params)) if offset_getter is not None else 0
+        count = int(count_getter(None, params)) if count_getter is not None else None
+        emitted = 0
+        for i, row in enumerate(rows):
+            if i < offset:
+                continue
+            if count is not None and emitted >= count:
+                return
+            emitted += 1
+            yield row
+
+    return apply_limit
+
+
+def _compile_projection(stmt: ast.SelectStatement, database: "Database",
+                        layout: RowLayout, ctx: CompileContext, has_agg: bool):
+    columns: list[str] = []
+    getters: list[Getter] = []
+    for item in stmt.select_items:
+        expr = item.expression
+        if isinstance(expr, ast.Star):
+            for ref in stmt.tables():
+                if expr.table and ref.exposed_name.lower() != expr.table.lower():
+                    continue
+                schema = database.table(ref.name).schema
+                base, slot_cols = layout.slot_of(ref.exposed_name)
+                if slot_cols != schema.column_names:
+                    raise CannotCompile("star layout mismatch")
+                for i, col_name in enumerate(schema.column_names):
+                    columns.append(col_name)
+                    offset = base + i
+                    if has_agg:
+                        # Mirrors _make_star_getter's row.get(): missing
+                        # sample yields None, never raises.
+                        getters.append(
+                            lambda row, params, _i=offset:
+                            row[0][_i] if row[0] is not None else None
+                        )
+                    else:
+                        getters.append(lambda row, params, _i=offset: row[_i])
+            continue
+        columns.append(item.output_name)
+        getter = compile_scalar(expr, ctx)
+
+        def normalized(row: Any, params: Sequence[Any], _g=getter) -> Any:
+            value = _g(row, params)
+            return None if value is UNKNOWN else value
+
+        getters.append(normalized)
+    project_getters = tuple(getters)
+
+    def project(row: Any, params: Sequence[Any]) -> tuple:
+        return tuple(g(row, params) for g in project_getters)
+
+    return columns, project
+
+
+# ---------------------------------------------------------------------------
+# UPDATE / DELETE
+# ---------------------------------------------------------------------------
+
+
+def _compile_update(database: "Database", stmt: ast.UpdateStatement):
+    table = database.table(stmt.table.name)
+    exposed = stmt.table.exposed_name
+    layout = RowLayout()
+    layout.add(exposed, table.schema.column_names)
+    ctx = CompileContext("scan", layout)
+    where_pred = (compile_predicate(stmt.where, ctx)
+                  if stmt.where is not None else None)
+    assignments = tuple(
+        (column, compile_scalar(expr, ctx)) for column, expr in stmt.assignments
+    )
+    access = _compile_access(table, exposed, stmt.where)
+    latency = database.latency
+
+    def run(params: Sequence[Any],
+            transaction: "Transaction | None") -> QueryResult:
+        txn = _require_txn(transaction)
+        row_ids, used_index = access.run(params)
+        updated = 0
+        get = table.get
+        for row_id in row_ids:
+            try:
+                raw = get(row_id)
+            except KeyError:
+                continue
+            row = tuple(raw.values())
+            if where_pred is not None and not where_pred(row, params):
+                continue
+            changes = {column: g(row, params) for column, g in assignments}
+            old_row = table.update(row_id, changes)
+            txn.record_update(table, row_id, old_row)
+            updated += 1
+        examined = len(row_ids) if used_index else table.row_count
+        cost = latency.statement_cost(table.row_count, examined + updated, used_index)
+        if updated:
+            cost += latency.write_cost(table.row_count)
+        return QueryResult(rowcount=updated, cost=cost, written_table=table)
+
+    return run, ctx.param_count
+
+
+def _compile_delete(database: "Database", stmt: ast.DeleteStatement):
+    table = database.table(stmt.table.name)
+    exposed = stmt.table.exposed_name
+    layout = RowLayout()
+    layout.add(exposed, table.schema.column_names)
+    ctx = CompileContext("scan", layout)
+    where_pred = (compile_predicate(stmt.where, ctx)
+                  if stmt.where is not None else None)
+    access = _compile_access(table, exposed, stmt.where)
+    latency = database.latency
+
+    def run(params: Sequence[Any],
+            transaction: "Transaction | None") -> QueryResult:
+        txn = _require_txn(transaction)
+        row_ids, used_index = access.run(params)
+        deleted = 0
+        get = table.get
+        for row_id in row_ids:
+            try:
+                raw = get(row_id)
+            except KeyError:
+                continue
+            row = tuple(raw.values())
+            if where_pred is not None and not where_pred(row, params):
+                continue
+            old_row = table.delete(row_id)
+            txn.record_delete(table, row_id, old_row)
+            deleted += 1
+        examined = len(row_ids) if used_index else table.row_count
+        cost = latency.statement_cost(table.row_count, examined + deleted, used_index)
+        if deleted:
+            cost += latency.write_cost(table.row_count)
+        return QueryResult(rowcount=deleted, cost=cost, written_table=table)
+
+    return run, ctx.param_count
+
+
+def _require_txn(transaction: "Transaction | None") -> "Transaction":
+    if transaction is None:
+        from ..exceptions import ExecutionError
+
+        raise ExecutionError("DML requires an active transaction context")
+    return transaction

@@ -43,6 +43,7 @@ class TableSchema:
 
     def __post_init__(self) -> None:
         self._by_name = {col.name.lower(): col for col in self.columns}
+        self._offsets = {col.name.lower(): i for i, col in enumerate(self.columns)}
         for key in self.primary_key:
             if key.lower() not in self._by_name:
                 raise ColumnNotFoundError(f"primary key column {key!r} not in table {self.name}")
@@ -50,6 +51,14 @@ class TableSchema:
     @property
     def column_names(self) -> list[str]:
         return [col.name for col in self.columns]
+
+    def column_offset(self, name: str) -> int:
+        """Position of a column in schema order — the index of its value
+        in ``tuple(row.values())`` for any row this schema normalized."""
+        try:
+            return self._offsets[name.lower()]
+        except KeyError:
+            raise ColumnNotFoundError(f"column {name!r} not in table {self.name}") from None
 
     def has_column(self, name: str) -> bool:
         return name.lower() in self._by_name
@@ -66,6 +75,13 @@ class TableSchema:
         Missing columns get their default (or None); NOT NULL without a
         value raises unless the column is auto-increment (filled by the
         table). Unknown columns raise.
+
+        Invariant: the returned dict's key order is exactly
+        ``self.columns`` order (every stored row is built here or copied
+        key-preserving from one that was), so ``tuple(row.values())``
+        yields values at :meth:`column_offset` positions. Compiled
+        storage plans (:mod:`repro.storage.plans`) rely on this to read
+        tuple rows by precomputed offset instead of by name.
         """
         for key in values:
             if key.lower() not in self._by_name:

@@ -73,6 +73,45 @@ class Table:
     def range_indexed_columns(self) -> set[str]:
         return set(self._sorted_indexes)
 
+    def row_ids(self) -> list[int]:
+        """Snapshot of all live row ids (full-scan access path)."""
+        return list(self._rows)
+
+    # ------------------------------------------------------------------
+    # Index handles (used by compiled storage plans)
+    #
+    # These expose the same index objects the lookup helpers above use,
+    # so a plan can bind a lookup closure once instead of re-running
+    # index selection per statement. TRUNCATE clears index contents in
+    # place, so captured handles stay valid across it; CREATE INDEX and
+    # DROP/CREATE TABLE change the candidate set, which the schema
+    # version bump (see Database.bump_schema_version) turns into a plan
+    # recompile.
+    # ------------------------------------------------------------------
+
+    def equality_index(self, column: str) -> HashIndex | None:
+        """First single-column hash index on `column` (find_equal's pick)."""
+        lower = column.lower()
+        for index in self._hash_indexes.values():
+            if len(index.columns) == 1 and index.columns[0].lower() == lower:
+                return index
+        return None
+
+    def sorted_index(self, column: str) -> SortedIndex | None:
+        return self._sorted_indexes.get(column.lower())
+
+    def covering_index(self, equality_columns: set[str]) -> HashIndex | None:
+        """Most specific hash index fully covered by the given lower-cased
+        equality columns — the compile-time twin of find_by_equalities
+        (same strict-> comparison, same first-wins tie break)."""
+        best: tuple[int, HashIndex] | None = None
+        for index in self._hash_indexes.values():
+            columns = [c.lower() for c in index.columns]
+            if all(c in equality_columns for c in columns):
+                if best is None or len(columns) > best[0]:
+                    best = (len(columns), index)
+        return best[1] if best else None
+
     # ------------------------------------------------------------------
     # Index lookups (used by the query executor)
     # ------------------------------------------------------------------

@@ -1,0 +1,530 @@
+"""Compiled storage plans: differential, invalidation and hot-path tests.
+
+The differential suite runs every statement against *twin* data sources —
+one with the storage plan cache enabled (compiled closure pipelines), one
+with it disabled (the tree-walking interpreter) — and asserts identical
+results. Each statement is executed twice on both twins so the compiled
+side exercises both the compile (miss) and the cached (hit) path.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SQLEngine
+from repro.engine.federation import _RowBudget
+from repro.exceptions import UnsupportedSQLError
+from repro.sharding import make_vertical_sharding
+from repro.sql import ast, parse
+from repro.storage import DataSource
+
+SCHEMA_T = (
+    "CREATE TABLE t (id INT PRIMARY KEY, grp INT, val FLOAT, name VARCHAR(32), flag INT)"
+)
+SCHEMA_U = "CREATE TABLE u (uid INT PRIMARY KEY, grp INT, tag VARCHAR(16))"
+U_ROWS = [(1, 0, "x"), (2, 1, "y"), (3, 1, "z"), (4, 3, "w"), (5, None, "q")]
+
+DIFF_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_twins(rows):
+    """Two identical data sources; the second never compiles plans."""
+    twins = []
+    for tag in ("compiled", "interpreted"):
+        ds = DataSource(f"twin_{tag}")
+        if tag == "interpreted":
+            ds.database.plan_cache.enabled = False
+        ds.execute(SCHEMA_T)
+        ds.execute("CREATE INDEX idx_grp ON t (grp)")
+        ds.execute("CREATE INDEX idx_val ON t (val)")
+        ds.execute(SCHEMA_U)
+        conn = ds.connect()
+        if rows:
+            conn.cursor().executemany(
+                "INSERT INTO t (id, grp, val, name, flag) VALUES (?, ?, ?, ?, ?)", rows
+            )
+        conn.cursor().executemany("INSERT INTO u (uid, grp, tag) VALUES (?, ?, ?)", U_ROWS)
+        twins.append((ds, conn))
+    return twins
+
+
+def run_pair(twins, sql, params=()):
+    """Execute on both twins; return [(rows, rowcount), (rows, rowcount)]."""
+    outs = []
+    for _ds, conn in twins:
+        cur = conn.execute(sql, params)
+        outs.append((cur.fetchall(), cur.rowcount))
+    return outs
+
+
+def assert_twins_agree(twins, sql, params=()):
+    """Run twice on both twins (compile, then hit) and compare everything."""
+    first = run_pair(twins, sql, params)
+    second = run_pair(twins, sql, params)
+    assert first[0] == first[1], sql
+    assert second[0] == second[1], sql
+    assert first[0] == second[0], sql  # SELECTs must be repeatable
+
+
+def table_contents(twins):
+    return run_pair(twins, "SELECT * FROM t ORDER BY id")
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+grp_s = st.one_of(st.none(), st.integers(0, 5))
+val_s = st.one_of(st.none(), st.floats(-50, 50, allow_nan=False, width=32))
+name_s = st.one_of(st.none(), st.sampled_from(["ann", "bo", "che", "dee", "Ann", "a%b"]))
+flag_s = st.integers(0, 1)
+
+rows_s = st.lists(st.tuples(grp_s, val_s, name_s, flag_s), max_size=25).map(
+    lambda raw: [(i, g, v, n, f) for i, (g, v, n, f) in enumerate(raw)]
+)
+
+where_s = st.one_of(
+    st.just(("", ())),
+    st.builds(lambda k: (f"WHERE id = {k}", ()), st.integers(0, 30)),
+    st.builds(lambda k: ("WHERE id = ?", (k,)), st.integers(0, 30)),
+    st.builds(
+        lambda a, b: (f"WHERE id BETWEEN {min(a, b)} AND {max(a, b)}", ()),
+        st.integers(0, 30),
+        st.integers(0, 30),
+    ),
+    st.builds(lambda g: (f"WHERE grp = {g}", ()), st.integers(0, 5)),
+    st.builds(lambda g: ("WHERE grp < ?", (g,)), st.integers(0, 5)),
+    st.builds(lambda v: (f"WHERE val >= {v}", ()), st.integers(-40, 40)),
+    st.just(("WHERE name IS NULL", ())),
+    st.just(("WHERE name IS NOT NULL AND grp IS NOT NULL", ())),
+    st.just(("WHERE name LIKE 'a%'", ())),
+    st.builds(
+        lambda g, f: (f"WHERE grp = {g} AND flag = {f}", ()),
+        st.integers(0, 5),
+        flag_s,
+    ),
+    st.builds(
+        lambda g, f: (f"WHERE grp = {g} OR flag = {f}", ()),
+        st.integers(0, 5),
+        flag_s,
+    ),
+    st.builds(
+        lambda ks: ("WHERE id IN (%s)" % ", ".join(map(str, ks)), ()),
+        st.lists(st.integers(0, 30), min_size=1, max_size=5),
+    ),
+    st.just(("WHERE NOT (flag = 1)", ())),
+    st.builds(lambda v: (f"WHERE val * 2 > {v}", ()), st.integers(-40, 40)),
+)
+
+select_items_s = st.sampled_from(
+    [
+        "*",
+        "id, grp, val",
+        "id, val * 2 AS dv",
+        "id, COALESCE(grp, -1) AS g",
+        "name, id",
+    ]
+)
+
+# Every ORDER BY ends in the unique ``id`` so row order is total and the
+# compiled and interpreted outputs can be compared exactly.
+order_s = st.sampled_from(
+    [
+        "",
+        "ORDER BY id",
+        "ORDER BY id DESC",
+        "ORDER BY grp, id",
+        "ORDER BY val DESC, id",
+        "ORDER BY grp DESC, val ASC, id",
+        "ORDER BY name, id",
+    ]
+)
+
+limit_s = st.sampled_from(["", "LIMIT 5", "LIMIT 3 OFFSET 2", "LIMIT 0"])
+
+
+# ---------------------------------------------------------------------------
+# Differential suite (property-based)
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialSelect:
+    @DIFF_SETTINGS
+    @given(rows=rows_s, items=select_items_s, where=where_s, order=order_s, limit=limit_s)
+    def test_select_matches_interpreter(self, rows, items, where, order, limit):
+        twins = make_twins(rows)
+        cond, params = where
+        sql = f"SELECT {items} FROM t {cond} {order} {limit}".strip()
+        assert_twins_agree(twins, sql, params)
+
+    @DIFF_SETTINGS
+    @given(rows=rows_s, where=where_s)
+    def test_grouped_aggregates_match_interpreter(self, rows, where):
+        twins = make_twins(rows)
+        cond, params = where
+        sql = (
+            "SELECT grp, COUNT(*) AS c, SUM(val) AS s, MIN(val) AS mn, "
+            f"MAX(val) AS mx, AVG(val) AS av FROM t {cond} GROUP BY grp ORDER BY grp"
+        )
+        assert_twins_agree(twins, sql, params)
+        having = (
+            f"SELECT grp, COUNT(*) AS c FROM t {cond} GROUP BY grp "
+            "HAVING COUNT(*) > 1 ORDER BY grp"
+        )
+        assert_twins_agree(twins, having, params)
+
+    @DIFF_SETTINGS
+    @given(rows=rows_s, where=where_s)
+    def test_global_aggregates_match_interpreter(self, rows, where):
+        twins = make_twins(rows)
+        cond, params = where
+        sql = f"SELECT COUNT(*), COUNT(val), AVG(val), MAX(name) FROM t {cond}"
+        assert_twins_agree(twins, sql, params)
+
+    @DIFF_SETTINGS
+    @given(rows=rows_s)
+    def test_distinct_matches_interpreter(self, rows):
+        twins = make_twins(rows)
+        assert_twins_agree(twins, "SELECT DISTINCT grp, flag FROM t ORDER BY grp, flag")
+        assert_twins_agree(twins, "SELECT DISTINCT grp FROM t WHERE flag = 1 ORDER BY grp")
+
+    @DIFF_SETTINGS
+    @given(rows=rows_s)
+    def test_joins_match_interpreter(self, rows):
+        twins = make_twins(rows)
+        for sql in (
+            "SELECT t.id, u.uid, u.tag FROM t JOIN u ON t.grp = u.grp "
+            "ORDER BY t.id, u.uid",
+            "SELECT t.id, u.uid, u.tag FROM t LEFT JOIN u ON t.grp = u.grp "
+            "ORDER BY t.id, u.uid",
+            "SELECT t.id, u.uid FROM t JOIN u ON t.grp = u.grp AND u.uid > 1 "
+            "ORDER BY t.id, u.uid",
+            "SELECT t.id, u.uid FROM t JOIN u ON t.grp < u.grp ORDER BY t.id, u.uid",
+            "SELECT u.grp, COUNT(*) AS c FROM t JOIN u ON t.grp = u.grp "
+            "GROUP BY u.grp ORDER BY u.grp",
+        ):
+            assert_twins_agree(twins, sql)
+
+
+class TestDifferentialDML:
+    @DIFF_SETTINGS
+    @given(
+        rows=rows_s,
+        where=where_s,
+        setter=st.sampled_from(
+            [
+                ("SET val = val + 1", ()),
+                ("SET name = 'zz'", ()),
+                ("SET flag = 1 - flag", ()),
+                ("SET val = ?, name = ?", (9.5, "bound")),
+            ]
+        ),
+    )
+    def test_update_matches_interpreter(self, rows, where, setter):
+        twins = make_twins(rows)
+        assignment, set_params = setter
+        cond, where_params = where
+        sql = f"UPDATE t {assignment} {cond}".strip()
+        params = tuple(set_params) + tuple(where_params)
+        first = run_pair(twins, sql, params)
+        second = run_pair(twins, sql, params)
+        assert first[0][1] == first[1][1], sql  # rowcounts agree
+        assert second[0][1] == second[1][1], sql
+        state = table_contents(twins)
+        assert state[0] == state[1], sql
+
+    @DIFF_SETTINGS
+    @given(rows=rows_s, where=where_s)
+    def test_delete_matches_interpreter(self, rows, where):
+        twins = make_twins(rows)
+        cond, params = where
+        sql = f"DELETE FROM t {cond}".strip()
+        first = run_pair(twins, sql, params)
+        assert first[0][1] == first[1][1], sql
+        state = table_contents(twins)
+        assert state[0] == state[1], sql
+
+
+class TestOrderPreservingAccess:
+    def test_index_order_skips_sort_but_matches_multiset(self):
+        rows = [(i, i % 3, float(i), None, 0) for i in range(12)]
+        twins = make_twins(rows)
+        sql = "SELECT grp, id FROM t ORDER BY grp"
+        outs = [run_pair(twins, sql)[i][0] for i in (0, 1)]
+        # Tie order within equal grp keys may differ; the multiset and the
+        # key sequence must not.
+        assert sorted(outs[0]) == sorted(outs[1])
+        assert [r[0] for r in outs[0]] == [r[0] for r in outs[1]]
+        keys = [r[0] for r in outs[0]]
+        assert keys == sorted(keys)
+
+    def test_desc_single_key(self):
+        rows = [(i, None, float(i % 4), None, 0) for i in range(10)]
+        twins = make_twins(rows)
+        sql = "SELECT val, id FROM t WHERE val IS NOT NULL ORDER BY val DESC"
+        outs = [run_pair(twins, sql)[i][0] for i in (0, 1)]
+        assert sorted(outs[0]) == sorted(outs[1])
+        assert [r[0] for r in outs[0]] == [r[0] for r in outs[1]]
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour: hits, invalidation, no stale plans
+# ---------------------------------------------------------------------------
+
+
+def fresh_source(name="inval"):
+    ds = DataSource(name)
+    ds.execute("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(16))")
+    conn = ds.connect()
+    conn.cursor().executemany(
+        "INSERT INTO t (a, b) VALUES (?, ?)", [(1, "one"), (2, "two"), (3, "three")]
+    )
+    return ds, conn
+
+
+class TestPlanCacheLifecycle:
+    def test_miss_then_hit(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        sql = "SELECT b FROM t WHERE a = ?"
+        assert conn.execute(sql, (1,)).fetchall() == [("one",)]
+        assert conn.execute(sql, (2,)).fetchall() == [("two",)]
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_create_index_invalidates(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        sql = "SELECT b FROM t WHERE a = 2"
+        conn.execute(sql)
+        conn.execute(sql)
+        assert cache.hits == 1
+        before = cache.invalidations
+        conn.execute("CREATE INDEX idx_b ON t (b)")
+        assert conn.execute(sql).fetchall() == [("two",)]
+        assert cache.invalidations == before + 1
+
+    def test_drop_create_reordered_columns_no_stale_offsets(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        sql = "SELECT * FROM t WHERE a = 1"
+        conn.execute(sql)
+        conn.execute(sql)
+        assert conn.execute(sql).fetchall() == [(1, "one")]
+        # Recreate with the column order flipped: a compiled plan pinned to
+        # the old schema would project swapped offsets.
+        conn.execute("DROP TABLE t")
+        conn.execute("CREATE TABLE t (b VARCHAR(16), a INT PRIMARY KEY)")
+        conn.execute("INSERT INTO t (b, a) VALUES ('uno', 1)")
+        before = cache.invalidations
+        assert conn.execute(sql).fetchall() == [("uno", 1)]
+        assert cache.invalidations == before + 1
+
+    def test_truncate_invalidates(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        sql = "SELECT COUNT(*) FROM t"
+        assert conn.execute(sql).fetchall() == [(3,)]
+        assert conn.execute(sql).fetchall() == [(3,)]
+        before = cache.invalidations
+        conn.execute("TRUNCATE TABLE t")
+        assert conn.execute(sql).fetchall() == [(0,)]
+        assert cache.invalidations == before + 1
+
+    def test_uncompilable_statement_bypasses(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        # No FROM clause: not compilable, negative-cached, interpreter runs.
+        assert conn.execute("SELECT 1 + 1").fetchall() == [(2,)]
+        before = cache.bypasses
+        assert conn.execute("SELECT 1 + 1").fetchall() == [(2,)]
+        assert cache.bypasses == before + 1
+        assert cache.hits == 0
+
+    def test_ast_statement_promoted_on_reuse(self):
+        ds, conn = fresh_source()
+        cache = ds.database.plan_cache
+        stmt = parse("SELECT b FROM t WHERE a = 3")
+        # First sight of an anonymous AST: marked, not compiled.
+        assert conn.execute(stmt).fetchall() == [("three",)]
+        assert cache.misses == 0
+        # Second sight proves reuse; the plan compiles and then hits.
+        assert conn.execute(stmt).fetchall() == [("three",)]
+        assert cache.misses == 1
+        assert conn.execute(stmt).fetchall() == [("three",)]
+        assert cache.hits == 1
+
+    def test_disabled_cache_reports_off(self):
+        ds, conn = fresh_source()
+        ds.database.plan_cache.enabled = False
+        sql = "SELECT b FROM t WHERE a = 1"
+        assert conn.execute(sql).fetchall() == [("one",)]
+        stats = ds.database.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestExecutemany:
+    def test_parses_once_and_accumulates_rowcount(self, monkeypatch):
+        import repro.storage.connection as conn_mod
+
+        ds = DataSource("many")
+        ds.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        conn = ds.connect()
+        calls = {"n": 0}
+        real_parse = conn_mod.parse
+
+        def counting_parse(sql):
+            calls["n"] += 1
+            return real_parse(sql)
+
+        monkeypatch.setattr(conn_mod, "parse", counting_parse)
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO t (a, b) VALUES (?, ?)", [(1, 1), (2, 2), (3, 3)])
+        assert calls["n"] == 1
+        assert cur.rowcount == 3
+
+        cur = conn.cursor()
+        cur.executemany("UPDATE t SET b = b + 1 WHERE a >= ?", [(1,), (3,)])
+        assert cur.rowcount == 4  # 3 rows + 1 row, cumulative
+
+    def test_update_compiles_once(self):
+        ds = DataSource("many2")
+        ds.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        conn = ds.connect()
+        conn.cursor().executemany("INSERT INTO t (a, b) VALUES (?, ?)", [(i, 0) for i in range(6)])
+        cache = ds.database.plan_cache
+        cur = conn.cursor()
+        cur.executemany("UPDATE t SET b = ? WHERE a = ?", [(i * 10, i) for i in range(6)])
+        assert cur.rowcount == 6
+        assert cache.misses == 1
+        assert cache.hits == 5
+        assert conn.execute("SELECT b FROM t ORDER BY a").fetchall() == [
+            (0,), (10,), (20,), (30,), (40,), (50,)
+        ]
+
+    def test_empty_sequence(self):
+        ds = DataSource("many3")
+        ds.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        cur = ds.connect().cursor()
+        cur.executemany("INSERT INTO t (a) VALUES (?)", [])
+        assert cur.rowcount == 0
+        assert cur.fetchall() == []
+
+
+# ---------------------------------------------------------------------------
+# Hot path: zero AST traversals end to end (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestHotPathZeroAST:
+    def test_fully_hot_prepared_statement_never_walks_ast(self, seeded_engine, monkeypatch):
+        sql = "SELECT name FROM t_user WHERE uid = ?"
+        # Warm every layer: engine template cache, route memo, storage plan.
+        for _ in range(3):
+            assert seeded_engine.execute(sql, (3,)).fetchall() == [("carol",)]
+
+        import repro.storage.executor as storage_executor
+        import repro.storage.plans as storage_plans
+
+        walks = {"n": 0}
+        real_walk = ast.Expression.walk
+
+        def counting_walk(self):
+            walks["n"] += 1
+            return real_walk(self)
+
+        def boom(*args, **kwargs):  # pragma: no cover - only fires on regression
+            raise AssertionError("hot path fell back to the AST interpreter")
+
+        monkeypatch.setattr(ast.Expression, "walk", counting_walk)
+        monkeypatch.setattr(storage_plans, "execute_statement", boom)
+        monkeypatch.setattr(storage_executor, "evaluate", boom)
+
+        engine_hits = seeded_engine.plan_cache.hits
+        storage_hits = sum(
+            ds.database.plan_cache.hits for ds in seeded_engine.data_sources.values()
+        )
+        result = seeded_engine.execute(sql, (3,))
+        assert result.fetchall() == [("carol",)]
+        assert walks["n"] == 0
+        assert seeded_engine.plan_cache.hits == engine_hits + 1
+        assert (
+            sum(ds.database.plan_cache.hits for ds in seeded_engine.data_sources.values())
+            == storage_hits + 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Federation: parallel materialization under an exact row budget
+# ---------------------------------------------------------------------------
+
+
+class TestFederationBudget:
+    def test_row_budget_is_exact_under_threads(self):
+        budget = _RowBudget(1000)
+        successes = []
+
+        def worker():
+            ok = 0
+            for _ in range(200):
+                try:
+                    budget.charge()
+                except UnsupportedSQLError:
+                    break
+                ok += 1
+            successes.append(ok)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(successes) == 1000
+
+    @pytest.fixture
+    def split_fleet(self):
+        sources = {"ds_a": DataSource("ds_a"), "ds_b": DataSource("ds_b")}
+        sources["ds_a"].execute("CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+        sources["ds_b"].execute("CREATE TABLE t_order (oid INT PRIMARY KEY, uid INT, amount FLOAT)")
+        sources["ds_a"].execute(
+            "INSERT INTO t_user (uid, name) VALUES (1, 'ann'), (2, 'bo'), (3, 'che')"
+        )
+        sources["ds_b"].execute(
+            "INSERT INTO t_order (oid, uid, amount) VALUES "
+            "(10, 1, 4.0), (11, 2, 6.0), (12, 1, 1.5)"
+        )
+        rule = make_vertical_sharding({"t_user": "ds_a", "t_order": "ds_b"})
+        engine = SQLEngine(sources, rule)
+        yield engine
+        engine.close()
+
+    def test_parallel_federation_results_unchanged(self, split_fleet):
+        result = split_fleet.execute(
+            "SELECT u.name, o.amount FROM t_user u JOIN t_order o ON u.uid = o.uid "
+            "ORDER BY o.amount DESC"
+        )
+        assert result.route_type == "federation"
+        assert result.fetchall() == [("bo", 6.0), ("ann", 4.0), ("ann", 1.5)]
+
+    def test_budget_enforced_across_parallel_pulls(self, split_fleet, monkeypatch):
+        import repro.engine.federation as federation
+
+        # 3 user rows + 3 order rows = 6 materialized rows total.
+        monkeypatch.setattr(federation, "MAX_FEDERATION_ROWS", 5)
+        with pytest.raises(UnsupportedSQLError, match="materialize more than"):
+            split_fleet.execute(
+                "SELECT u.name, o.amount FROM t_user u JOIN t_order o ON u.uid = o.uid"
+            )
+
+        monkeypatch.setattr(federation, "MAX_FEDERATION_ROWS", 6)
+        result = split_fleet.execute(
+            "SELECT u.name, o.amount FROM t_user u JOIN t_order o ON u.uid = o.uid "
+            "ORDER BY o.amount"
+        )
+        assert result.fetchall() == [("ann", 1.5), ("ann", 4.0), ("bo", 6.0)]
