@@ -121,7 +121,10 @@ def main() -> None:
         key_generate=runtime.rule.table_rule("t_baitiao_order").key_generate,
         auto=True,
     )
-    job = ScalingJob(runtime.rule, target, runtime.data_sources, drop_source_tables=True)
+    job = ScalingJob(
+        runtime.rule, target, runtime.data_sources,
+        drop_source_tables=True, apply_rule=runtime.apply_table_rule,
+    )
     report = job.run()
     print(
         f"\nscaled out: {report.source_nodes} -> {report.target_nodes} shards, "

@@ -14,14 +14,21 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from ..exceptions import DistSQLError, ShardingConfigError
+from ..metadata import KNOWN_VARIABLES
 from ..observability.metrics import Histogram, MetricsRegistry, like_to_matcher
-from ..sharding import ShardingRule, available_algorithms, build_auto_table_rule
+from ..sharding import ShardingRule, TableRule, available_algorithms, build_auto_table_rule
 from ..storage import DataSource
 from . import parser as p
 
 
 class Runtime(Protocol):
-    """What the executor needs from the hosting adaptor."""
+    """What the executor needs from the hosting adaptor.
+
+    Rule and resource mutations go through runtime methods (never
+    ``runtime.rule.add_...`` directly): each one produces the next
+    immutable metadata snapshot, which is what invalidates the engine's
+    plan caches — there is no explicit cache-clearing in this module.
+    """
 
     data_sources: dict[str, DataSource]
     rule: ShardingRule
@@ -33,7 +40,17 @@ class Runtime(Protocol):
 
     def set_variable(self, name: str, value: Any) -> None: ...
 
+    def apply_table_rule(self, table_rule: TableRule) -> None: ...
+
+    def drop_table_rule(self, logic_table: str) -> None: ...
+
+    def add_binding_group(self, tables: list[str]) -> None: ...
+
+    def add_broadcast_table(self, table: str) -> None: ...
+
     def persist_rule(self, kind: str, name: str, config: dict[str, Any]) -> None: ...
+
+    def unpersist_rule(self, kind: str, name: str) -> None: ...
 
     def preview(self, sql: str) -> list[tuple[str, str]]: ...
 
@@ -59,19 +76,6 @@ def execute_distsql(sql: str, runtime: Runtime) -> DistSQLResult:
     return handler(statement, runtime)
 
 
-def _invalidate_plans(runtime: Runtime, reason: str) -> None:
-    """Clear the engine's plan cache after a rule/topology change.
-
-    Compiled plans bake in the sharding rule (route templates, per-node
-    rewrites), so every RDL mutation must drop them. Runtimes without an
-    engine (unit-test stubs) are a no-op.
-    """
-    engine = getattr(runtime, "engine", None)
-    plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
-    if plan_cache is not None:
-        plan_cache.invalidate(reason)
-
-
 # ---------------------------------------------------------------------------
 # RDL
 # ---------------------------------------------------------------------------
@@ -82,7 +86,6 @@ def _register_resource(stmt: p.RegisterResource, runtime: Runtime) -> DistSQLRes
         if name in runtime.data_sources:
             raise DistSQLError(f"resource {name!r} already registered")
         runtime.register_resource(name, props)
-    _invalidate_plans(runtime, "REGISTER RESOURCE")
     return DistSQLResult(message=f"registered {len(stmt.resources)} resource(s)")
 
 
@@ -96,7 +99,6 @@ def _unregister_resource(stmt: p.UnregisterResource, runtime: Runtime) -> DistSQ
         if in_use:
             raise DistSQLError(f"resource {name!r} is referenced by sharding rules")
         runtime.unregister_resource(name)
-    _invalidate_plans(runtime, "UNREGISTER RESOURCE")
     return DistSQLResult(message=f"unregistered {len(stmt.names)} resource(s)")
 
 
@@ -123,7 +125,7 @@ def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> 
         )
     except ShardingConfigError as exc:
         raise DistSQLError(str(exc)) from exc
-    runtime.rule.add_table_rule(table_rule)
+    runtime.apply_table_rule(table_rule)
     runtime.persist_rule(
         "sharding",
         stmt.table,
@@ -134,10 +136,6 @@ def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> 
             "props": {k: v for k, v in props.items() if not callable(v)},
         },
     )
-    _invalidate_plans(
-        runtime,
-        "ALTER SHARDING TABLE RULE" if stmt.alter else "CREATE SHARDING TABLE RULE",
-    )
     verb = "altered" if stmt.alter else "created"
     return DistSQLResult(
         message=f"{verb} sharding rule for {stmt.table} over {len(table_rule.data_nodes)} data nodes"
@@ -146,27 +144,27 @@ def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> 
 
 def _drop_sharding_rule(stmt: p.DropShardingTableRule, runtime: Runtime) -> DistSQLResult:
     try:
-        runtime.rule.drop_table_rule(stmt.table)
+        runtime.drop_table_rule(stmt.table)
     except ShardingConfigError as exc:
         raise DistSQLError(str(exc)) from exc
-    _invalidate_plans(runtime, "DROP SHARDING TABLE RULE")
+    # Also retract the persisted config: a dropped rule must not resurrect
+    # on restart recovery or propagate to cluster peers.
+    runtime.unpersist_rule("sharding", stmt.table)
     return DistSQLResult(message=f"dropped sharding rule for {stmt.table}")
 
 
 def _create_binding(stmt: p.CreateBindingRule, runtime: Runtime) -> DistSQLResult:
     try:
-        runtime.rule.add_binding_group(stmt.tables)
+        runtime.add_binding_group(stmt.tables)
     except ShardingConfigError as exc:
         raise DistSQLError(str(exc)) from exc
     runtime.persist_rule("binding", "+".join(sorted(stmt.tables)), {"tables": stmt.tables})
-    _invalidate_plans(runtime, "CREATE SHARDING BINDING TABLE RULES")
     return DistSQLResult(message=f"bound tables {', '.join(stmt.tables)}")
 
 
 def _create_broadcast(stmt: p.CreateBroadcastRule, runtime: Runtime) -> DistSQLResult:
-    runtime.rule.add_broadcast_table(stmt.table)
+    runtime.add_broadcast_table(stmt.table)
     runtime.persist_rule("broadcast", stmt.table, {"table": stmt.table})
-    _invalidate_plans(runtime, "CREATE BROADCAST TABLE RULE")
     return DistSQLResult(message=f"broadcast table {stmt.table}")
 
 
@@ -186,7 +184,6 @@ def _create_rwsplit(stmt: p.CreateReadwriteSplittingRule, runtime: Runtime) -> D
     apply_rwsplit = getattr(runtime, "apply_rwsplit_rule", None)
     if apply_rwsplit is not None:
         apply_rwsplit(stmt.name, stmt.primary, stmt.replicas)
-    _invalidate_plans(runtime, "CREATE READWRITE_SPLITTING RULE")
     return DistSQLResult(message=f"readwrite-splitting rule {stmt.name} created")
 
 
@@ -372,6 +369,29 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             rows=plan_cache.snapshot_rows(),
             message=message,
         )
+    if stmt.subject == "metadata":
+        metadata = getattr(runtime, "metadata", None)
+        if metadata is None:
+            return DistSQLResult(
+                columns=["field", "value"], rows=[],
+                message="runtime has no versioned metadata contexts",
+            )
+        snap = metadata.current()
+        rows = [
+            ("version", snap.version),
+            ("plan_epoch", snap.plan_epoch),
+            ("reason", snap.reason),
+            ("data_sources", ", ".join(sorted(snap.data_sources)) or "-"),
+            ("sharded_tables", ", ".join(snap.rule.logic_tables()) or "-"),
+            ("broadcast_tables", ", ".join(sorted(snap.rule.broadcast_tables)) or "-"),
+            ("features", ", ".join(f.name for f in snap.features) or "-"),
+            ("plan_cache_safe", snap.plan_cache_safe),
+            ("rule_frozen", snap.rule.frozen),
+        ]
+        return DistSQLResult(
+            columns=["field", "value"], rows=rows,
+            message=f"metadata context v{snap.version} ({snap.reason})",
+        )
     if stmt.subject == "failovers":
         detector = getattr(runtime, "health_detector", None)
         events = detector.failover_events if detector is not None else []
@@ -391,19 +411,10 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
 # RAL
 # ---------------------------------------------------------------------------
 
-_KNOWN_VARIABLES = {
-    "transaction_type",
-    "max_connections_per_query",
-    "tracing",
-    "slow_query_threshold_ms",
-    "plan_cache",
-}
-
-
 def _set_variable(stmt: p.SetVariable, runtime: Runtime) -> DistSQLResult:
     name = stmt.name.lower()
-    if name not in _KNOWN_VARIABLES:
-        raise DistSQLError(f"unknown variable {stmt.name!r}; known: {sorted(_KNOWN_VARIABLES)}")
+    if name not in KNOWN_VARIABLES:
+        raise DistSQLError(f"unknown variable {stmt.name!r}; known: {sorted(KNOWN_VARIABLES)}")
     runtime.set_variable(name, stmt.value)
     return DistSQLResult(message=f"{name} = {stmt.value}")
 
@@ -496,7 +507,11 @@ def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
             auto=True,
         )
         generation += 1
-    job = ScalingJob(runtime.rule, target, runtime.data_sources, drop_source_tables=True)
+    apply_rule = getattr(runtime, "apply_table_rule", None)
+    job = ScalingJob(
+        runtime.rule, target, runtime.data_sources,
+        drop_source_tables=True, apply_rule=apply_rule,
+    )
     report = job.run()
     runtime.persist_rule(
         "sharding",
@@ -508,7 +523,6 @@ def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
             "props": {k: v for k, v in stmt.properties.items() if not callable(v)},
         },
     )
-    _invalidate_plans(runtime, "MIGRATE TABLE")
     return DistSQLResult(
         columns=["table", "rows_migrated", "source_nodes", "target_nodes", "consistent"],
         rows=[(stmt.table, report.rows_migrated, report.source_nodes,

@@ -185,6 +185,7 @@ _DIST_PREFIXES = (
     "SHOW CIRCUIT",
     "SHOW EXECUTION",
     "SHOW FAILOVER",
+    "SHOW METADATA",
     "SHOW METRICS",
     "SHOW TRACES",
     "SHOW SLOW",
@@ -476,4 +477,6 @@ class _Parser:
         if self._accept_word("PLAN"):
             self._expect_word("CACHE")
             return ShowStatement(subject="plan_cache")
+        if self._accept_word("METADATA"):
+            return ShowStatement(subject="metadata")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

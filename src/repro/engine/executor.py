@@ -227,6 +227,7 @@ class ExecutionEngine:
         route_type: str = "",
         trace: "Trace | None" = None,
         parent_span: "Span | None" = None,
+        sources: Mapping[str, DataSource] | None = None,
     ) -> ExecutionResult:
         """Run all units; group per data source and pick connection modes.
 
@@ -237,11 +238,15 @@ class ExecutionEngine:
         read is a broadcast that may gracefully degrade. When ``trace`` is
         given, one ``storage`` span per unit (child of ``parent_span``) is
         allocated here, in routing order on the calling thread — worker
-        scheduling never changes span ids.
+        scheduling never changes span ids. ``sources`` pins the statement
+        to one metadata snapshot's immutable data-source view, so a
+        concurrent UNREGISTER RESOURCE cannot yank a source out from under
+        an in-flight statement; None falls back to the live map.
         """
         deadline = self._statement_deadline()
         result = ExecutionResult()
         units = list(units)
+        sources_map = sources if sources is not None else self.data_sources
 
         allow_partial = (
             self.resilience is not None
@@ -251,7 +256,9 @@ class ExecutionEngine:
             and route_type in ("standard", "broadcast", "cartesian")
             and len(units) > 1
         )
-        units = self._apply_health_filter(units, is_query, allow_partial, route_type, result)
+        units = self._apply_health_filter(
+            units, is_query, allow_partial, route_type, result, sources_map
+        )
 
         spans: dict[int, "Span"] | None = None
         if trace is not None:
@@ -295,7 +302,7 @@ class ExecutionEngine:
                         span.attributes["rows"] = max(cursor.rowcount, 0)
                 self.metrics.statements += 1
                 return result
-            source = self._source(unit.data_source)
+            source = self._source(unit.data_source, sources_map)
             result.modes[unit.data_source] = ConnectionMode.MEMORY_STRICTLY
             self.metrics.memory_strictly += 1
             if span is not None:
@@ -346,7 +353,7 @@ class ExecutionEngine:
 
         futures: list[tuple[str, Future]] = []
         for ds_name, group in groups.items():
-            source = self._source(ds_name)
+            source = self._source(ds_name, sources_map)
             pinned = (held_connections or {}).get(ds_name)
             if pinned is not None:
                 futures.append(
@@ -442,6 +449,7 @@ class ExecutionEngine:
         allow_partial: bool,
         route_type: str,
         result: ExecutionResult,
+        sources_map: Mapping[str, DataSource] | None = None,
     ) -> list[ExecutionUnit]:
         """Skip units on DOWN sources for degradable reads; fail writes fast.
 
@@ -459,8 +467,9 @@ class ExecutionEngine:
                 f"data source(s) {sorted(down)} are DOWN; refusing write (fail fast)"
             )
         if route_type == "unicast" and len(units) == 1:
+            candidates = sources_map if sources_map is not None else self.data_sources
             healthy = next(
-                (name for name in self.data_sources if self._source_up(name)), None
+                (name for name in candidates if self._source_up(name)), None
             )
             if healthy is None:
                 raise DataSourceUnavailableError(
@@ -622,9 +631,10 @@ class ExecutionEngine:
         theta = math.ceil(num_sqls / self.max_connections_per_query)
         return ConnectionMode.CONNECTION_STRICTLY if theta > 1 else ConnectionMode.MEMORY_STRICTLY
 
-    def _source(self, name: str) -> DataSource:
+    def _source(self, name: str, sources: Mapping[str, DataSource] | None = None) -> DataSource:
+        lookup = sources if sources is not None else self.data_sources
         try:
-            return self.data_sources[name]
+            return lookup[name]
         except KeyError:
             raise ExecutionError(f"unknown data source {name!r}") from None
 

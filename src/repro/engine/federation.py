@@ -24,6 +24,7 @@ from ..storage.executor import QueryResult, execute_statement
 from .context import StatementContext
 
 if TYPE_CHECKING:
+    from ..metadata import MetadataContext
     from .pipeline import SQLEngine
 
 #: refuse to materialize more rows than this into the federation scratch DB
@@ -56,11 +57,17 @@ class _RowBudget:
                 )
 
 
-def federate_select(engine: "SQLEngine", context: StatementContext) -> QueryResult:
+def federate_select(
+    engine: "SQLEngine",
+    context: StatementContext,
+    snap: "MetadataContext | None" = None,
+) -> QueryResult:
     """Execute a SELECT by materializing each referenced table locally.
 
     Per-table pulls are independent, so they fan out over the engine's
     worker pool; a single-table statement stays on the calling thread.
+    ``snap`` pins the statement to one metadata snapshot (rule + data
+    sources); None falls back to the engine's live view.
     """
     statement = context.statement
     if not isinstance(statement, ast.SelectStatement):
@@ -85,12 +92,12 @@ def federate_select(engine: "SQLEngine", context: StatementContext) -> QueryResu
     if len(refs) <= 1:
         for ref in refs:
             pushdown_ok = ref.exposed_name.lower() not in no_pushdown
-            _materialize(engine, context, ref, scratch, budget, pushdown_ok)
+            _materialize(engine, context, ref, scratch, budget, pushdown_ok, snap)
     else:
         futures = [
             engine.executor.submit(
                 _materialize, engine, context, ref, scratch, budget,
-                ref.exposed_name.lower() not in no_pushdown,
+                ref.exposed_name.lower() not in no_pushdown, snap,
             )
             for ref in refs
         ]
@@ -113,15 +120,17 @@ def _materialize(
     scratch: Database,
     budget: _RowBudget,
     pushdown_ok: bool = True,
+    snap: "MetadataContext | None" = None,
 ) -> int:
     """Copy one logic table's (filtered) rows into the scratch database."""
     logic = ref.name
-    nodes = _nodes_of(engine, logic)
+    sources = snap.data_sources if snap is not None else engine.data_sources
+    nodes = _nodes_of(engine, logic, snap)
     schema = None
     fetched = 0
     pushdown = _pushdown_predicate(context, ref) if pushdown_ok else None
     for ds_name, actual in nodes:
-        source = engine.data_sources[ds_name]
+        source = sources[ds_name]
         table = source.database.table(actual)
         if schema is None:
             schema = table.schema.clone_renamed(logic)
@@ -145,15 +154,16 @@ def _materialize(
     return fetched
 
 
-def _nodes_of(engine: "SQLEngine", logic: str) -> list[tuple[str, str]]:
-    rule = engine.rule
+def _nodes_of(
+    engine: "SQLEngine", logic: str, snap: "MetadataContext | None" = None
+) -> list[tuple[str, str]]:
+    rule = snap.rule if snap is not None else engine.rule
+    sources = snap.data_sources if snap is not None else engine.data_sources
     if rule.is_sharded(logic):
         return [(n.data_source, n.table) for n in rule.table_rule(logic).data_nodes]
-    if rule.is_broadcast(logic):
-        # replicated everywhere; one copy suffices
-        default = rule.default_data_source or next(iter(engine.data_sources))
-        return [(default, logic)]
-    default = rule.default_data_source or next(iter(engine.data_sources))
+    # broadcast tables are replicated everywhere (one copy suffices) and
+    # unsharded tables live on the default source
+    default = rule.default_data_source or next(iter(sources))
     return [(default, logic)]
 
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..cache import LruCache
 from ..exceptions import RouteError, ShardingSphereError
+from ..metadata import ContextManager, MetadataContext
 from ..sharding import ShardingRule
 from ..sql import ast, parse
 from ..sql.formatter import format_statement
@@ -104,26 +105,41 @@ class EngineResult:
 
 
 class SQLEngine:
-    """Five-stage engine bound to a rule and a fleet of data sources."""
+    """Five-stage engine bound to versioned metadata + a fleet of sources.
+
+    Configuration lives in a :class:`~repro.metadata.ContextManager`;
+    every statement pins ``metadata.current()`` once and reads rule,
+    data sources, features and dialects from that immutable snapshot for
+    its whole parse→route→rewrite→execute→merge lifetime. Concurrent
+    DistSQL mutations swap in the *next* snapshot without ever tearing an
+    in-flight statement.
+    """
 
     def __init__(
         self,
-        data_sources: Mapping[str, DataSource],
-        rule: ShardingRule,
+        data_sources: Mapping[str, DataSource] | None = None,
+        rule: ShardingRule | None = None,
         max_connections_per_query: int = 1,
         features: Sequence[Feature] = (),
         worker_threads: int = 32,
         enable_federation: bool = True,
         resilience: ResiliencePolicy | None = None,
+        metadata: ContextManager | None = None,
     ):
         self.enable_federation = enable_federation
-        # Keep the caller's dict by reference: DistSQL REGISTER RESOURCE
-        # mutates it at runtime and the engine must see new sources.
-        self.data_sources = data_sources if isinstance(data_sources, dict) else dict(data_sources)
-        self.rule = rule
-        self.features = list(features)
+        if metadata is None:
+            # Direct-embedding path (tests, examples): wrap the caller's
+            # dict/rule in a standalone manager. The caller's dict is kept
+            # by reference as the live-source map, and the bootstrap rule
+            # stays unfrozen so incremental setup keeps working.
+            metadata = ContextManager(
+                data_sources if isinstance(data_sources, dict) else dict(data_sources or {}),
+                rule if rule is not None else ShardingRule(),
+                features=features,
+            )
+        self.metadata = metadata
         self.executor = ExecutionEngine(
-            self.data_sources,
+            metadata.live_sources,
             max_connections_per_query=max_connections_per_query,
             worker_threads=worker_threads,
             resilience=resilience,
@@ -133,8 +149,34 @@ class SQLEngine:
         self._parse_cache: LruCache[str, ast.Statement] = LruCache(self._PARSE_CACHE_LIMIT)
         #: compiled plans for parameterized statements (the hot path)
         self.plan_cache = PlanCache()
-        self._plan_safe_features = True
-        self._refresh_plan_safety()
+        self.plan_cache.epoch = metadata.current().plan_epoch
+        metadata.subscribe(self._on_metadata_swap)
+
+    # -- metadata views (always the *current* snapshot) --------------------
+
+    @property
+    def data_sources(self) -> dict[str, DataSource]:
+        """The live (mutable, manager-synced) data-source map."""
+        return self.metadata.live_sources
+
+    @property
+    def rule(self) -> ShardingRule:
+        return self.metadata.current().rule
+
+    @property
+    def features(self) -> tuple[Feature, ...]:
+        return self.metadata.current().features
+
+    def _on_metadata_swap(self, old: MetadataContext, new: MetadataContext) -> None:
+        """Single invalidation point: caches are keyed by plan epoch, so a
+        swap that changed rule/sources/features drops them by version
+        comparison (replacing the old scattered ``_invalidate_plans``)."""
+        if new.plan_epoch != old.plan_epoch:
+            self.plan_cache.advance_epoch(new.plan_epoch, new.reason)
+            # Parsed ASTs are config-independent, but clearing on the same
+            # epoch keeps one uniform invalidation story and bounds how
+            # long pre-change statements stay warm.
+            self._parse_cache.clear()
 
     def attach_observability(self, observability: "Observability") -> None:
         """Wire tracing, stage metrics and pool gauges into this engine."""
@@ -150,26 +192,16 @@ class SQLEngine:
         self.executor.close()
 
     def add_feature(self, feature: Feature) -> None:
-        self.features.append(feature)
-        self._refresh_plan_safety()
-        self.plan_cache.invalidate(f"feature added: {feature.name}")
+        self.metadata.add_feature(feature)
 
     def remove_feature(self, name: str) -> None:
-        self.features = [f for f in self.features if f.name != name]
-        self._refresh_plan_safety()
-        self.plan_cache.invalidate(f"feature removed: {name}")
+        self.metadata.remove_feature(name)
 
-    def _refresh_plan_safety(self) -> None:
-        self._plan_safe_features = all(f.plan_cache_safe for f in self.features)
-
-    def _dialect_of(self, data_source: str):
-        return self.data_sources[data_source].dialect
-
-    def _federated(self, context: StatementContext) -> EngineResult:
+    def _federated(self, context: StatementContext, snap: MetadataContext) -> EngineResult:
         """Cross-source join fallback (see :mod:`repro.engine.federation`)."""
         from .federation import federate_select
 
-        query_result = federate_select(self, context)
+        query_result = federate_select(self, context, snap)
         result = EngineResult(
             route_type="federation",
             unit_count=0,
@@ -301,6 +333,11 @@ class SQLEngine:
         trace: "Trace | None" = None,
     ) -> EngineResult:
         observability = self.observability
+        # Pin ONE metadata snapshot for this statement's whole lifetime:
+        # every stage below reads rule/sources/features/dialects from
+        # ``snap``, so a concurrent DistSQL mutation (which swaps in the
+        # *next* snapshot) can never be half-observed.
+        snap = self.metadata.current()
         # Histogram sampling: unsampled statements (weight 0) skip the
         # perf_counter calls and stage dict entirely; counters stay exact.
         # A forced TRACE of an unsampled statement records unweighted.
@@ -309,17 +346,19 @@ class SQLEngine:
             weight = 1
         timed = weight > 0
         stages: dict[str, float] = {}
+        if trace is not None:
+            trace.root.attributes["metadata_version"] = snap.version
 
         plan_cache = self.plan_cache
         use_plans = (
             plan_cache.enabled
-            and self._plan_safe_features
+            and snap.plan_cache_safe
             and hint_values is None
             and isinstance(sql, str)
         )
         compile_after_parse = False
         if use_plans:
-            plan = plan_cache.get(sql)  # type: ignore[arg-type]
+            plan = plan_cache.get(sql, snap.plan_epoch)  # type: ignore[arg-type]
             if plan is None:
                 plan_cache.misses += 1
                 compile_after_parse = True
@@ -330,13 +369,15 @@ class SQLEngine:
                 plan.hits += 1
                 try:
                     return self._execute_plan(
-                        plan, params, held_connections, trace, stages, timed, weight
+                        plan, params, held_connections, trace, stages, timed, weight, snap
                     )
                 except _PlanRouteError as exc:
                     # The route template proved unusable at bind time (e.g.
                     # the statement needs the federation fallback). Demote
                     # to a negative entry and take the slow path.
-                    plan_cache.mark_uncacheable(sql, f"route: {exc.error}")  # type: ignore[arg-type]
+                    plan_cache.mark_uncacheable(
+                        sql, f"route: {exc.error}", snap.plan_epoch  # type: ignore[arg-type]
+                    )
                     if trace is not None:
                         trace.root.add_event(
                             "plan_cache_fallback", error=type(exc.error).__name__
@@ -344,7 +385,10 @@ class SQLEngine:
                     stages = {}
 
         t0 = time.perf_counter() if timed else 0.0
-        span = trace.start_span("parse") if trace is not None else None
+        span = (
+            trace.start_span("parse", metadata_version=snap.version)
+            if trace is not None else None
+        )
         if isinstance(sql, str):
             statement = self._parse_cached(sql)
             sql_text = sql
@@ -360,10 +404,12 @@ class SQLEngine:
         if statement.category == "DDL":
             plan_cache.invalidate("DDL")
         if compile_after_parse:
-            plan_cache.store(compile_plan(sql, statement, self.rule))  # type: ignore[arg-type]
+            plan_cache.store(  # type: ignore[arg-type]
+                compile_plan(sql, statement, snap.rule), snap.plan_epoch
+            )
 
-        context = build_context(statement, sql_text, params, self.rule, hint_values)
-        for feature in self.features:
+        context = build_context(statement, sql_text, params, snap.rule, hint_values)
+        for feature in snap.features:
             feature.on_context(context)
         if span is not None:
             span.finish()
@@ -372,9 +418,12 @@ class SQLEngine:
             stages["parse"] = now - t0
             t0 = now
 
-        span = trace.start_span("route") if trace is not None else None
+        span = (
+            trace.start_span("route", metadata_version=snap.version)
+            if trace is not None else None
+        )
         try:
-            route_result = route(context, self.rule)
+            route_result = route(context, snap.rule)
         except RouteError as exc:
             if (
                 self.enable_federation
@@ -390,9 +439,11 @@ class SQLEngine:
                     t0 = now
                 if use_plans:
                     # A federated statement can never run from a plan.
-                    plan_cache.mark_uncacheable(sql, "federation fallback")  # type: ignore[arg-type]
+                    plan_cache.mark_uncacheable(
+                        sql, "federation fallback", snap.plan_epoch  # type: ignore[arg-type]
+                    )
                 span = trace.start_span("federation") if trace is not None else None
-                result = self._federated(context)
+                result = self._federated(context, snap)
                 if span is not None:
                     span.finish()
                 if timed:
@@ -405,7 +456,7 @@ class SQLEngine:
             if span is not None:
                 span.finish(error=exc)
             raise
-        for feature in self.features:
+        for feature in snap.features:
             feature.on_route(route_result, context)
         if span is not None:
             span.attributes["route_type"] = route_result.route_type
@@ -416,10 +467,13 @@ class SQLEngine:
             stages["route"] = now - t0
             t0 = now
 
-        span = trace.start_span("rewrite") if trace is not None else None
-        rewrite_result = rewrite(context, route_result, self._dialect_of)
+        span = (
+            trace.start_span("rewrite", metadata_version=snap.version)
+            if trace is not None else None
+        )
+        rewrite_result = rewrite(context, route_result, snap.dialect_of)
         units = rewrite_result.execution_units
-        for feature in self.features:
+        for feature in snap.features:
             feature.on_units(units, context)
         if span is not None:
             span.attributes["units"] = len(units)
@@ -431,7 +485,7 @@ class SQLEngine:
 
         return self._run_units(
             context, route_result.route_type, units, rewrite_result.merge_spec,
-            held_connections, trace, stages, timed, weight,
+            held_connections, trace, stages, timed, weight, snap,
         )
 
     def _execute_plan(
@@ -443,6 +497,7 @@ class SQLEngine:
         stages: dict[str, float],
         timed: bool,
         weight: int,
+        snap: MetadataContext,
     ) -> EngineResult:
         """Hot path: bind parameters into a compiled plan.
 
@@ -455,21 +510,24 @@ class SQLEngine:
         """
         params = tuple(params)
         t0 = time.perf_counter() if timed else 0.0
-        span = trace.start_span("plan_cache_hit") if trace is not None else None
+        span = (
+            trace.start_span("plan_cache_hit", metadata_version=snap.version)
+            if trace is not None else None
+        )
         conditions = plan.bind_conditions(params)
         context = plan.make_context(params, conditions)
-        for feature in self.features:
+        for feature in snap.features:
             feature.on_context(context)
         try:
-            route_result = plan.route_bound(conditions, self.rule, lambda: context)
+            route_result = plan.route_bound(conditions, snap.rule, lambda: context)
         except RouteError as exc:
             if span is not None:
                 span.finish(error=exc)
             raise _PlanRouteError(exc) from exc
-        for feature in self.features:
+        for feature in snap.features:
             feature.on_route(route_result, context)
-        units, merge_spec = plan.build_units(route_result, params, self._dialect_of)
-        for feature in self.features:
+        units, merge_spec = plan.build_units(route_result, params, snap.dialect_of)
+        for feature in snap.features:
             feature.on_units(units, context)
         if span is not None:
             span.attributes["route_type"] = route_result.route_type
@@ -479,7 +537,7 @@ class SQLEngine:
             stages["plan_cache_hit"] = time.perf_counter() - t0
         return self._run_units(
             context, route_result.route_type, units, merge_spec,
-            held_connections, trace, stages, timed, weight,
+            held_connections, trace, stages, timed, weight, snap,
         )
 
     def _run_units(
@@ -493,22 +551,27 @@ class SQLEngine:
         stages: dict[str, float],
         timed: bool,
         weight: int,
+        snap: MetadataContext,
     ) -> EngineResult:
         """Shared execute+merge tail of both the slow and plan-hit paths."""
         observability = self.observability
         is_query = isinstance(context.statement, ast.SelectStatement)
         t0 = time.perf_counter() if timed else 0.0
-        span = trace.start_span("execute") if trace is not None else None
+        span = (
+            trace.start_span("execute", metadata_version=snap.version)
+            if trace is not None else None
+        )
         try:
             execution = self.executor.execute(
                 units, is_query, held_connections,
                 route_type=route_type,
                 trace=trace, parent_span=span,
+                sources=snap.data_sources,
             )
         except Exception as exc:
             if span is not None:
                 span.finish(error=exc)
-            for feature in self.features:
+            for feature in snap.features:
                 feature.on_error(exc, context)
             raise
         if span is not None:
@@ -530,7 +593,10 @@ class SQLEngine:
         )
         if is_query:
             t0 = time.perf_counter() if timed else 0.0
-            span = trace.start_span("merge") if trace is not None else None
+            span = (
+                trace.start_span("merge", metadata_version=snap.version)
+                if trace is not None else None
+            )
             spec = merge_spec or MergeSpec(is_query=True, single_node=True)
             merged = merge(spec, execution.results)
             result.merged = MergedResult(
@@ -553,7 +619,7 @@ class SQLEngine:
                 stages, route_type, len(units), error=False,
                 weight=weight,
             )
-        for feature in self.features:
+        for feature in snap.features:
             feature.on_result(result, context)
         return result
 

@@ -367,11 +367,23 @@ def _has_placeholder(*exprs: ast.Expression | None) -> bool:
 
 
 class PlanCache:
-    """Bounded LRU of :class:`CompiledPlan` keyed by SQL text."""
+    """Bounded LRU of :class:`CompiledPlan` keyed by SQL text.
+
+    The cache is additionally keyed by the *metadata plan epoch* (see
+    :mod:`repro.metadata`): every entry belongs to ``self.epoch``, and
+    invalidation after a rule/resource/feature change is a version
+    comparison — :meth:`advance_epoch` clears once per epoch transition,
+    and the per-statement :meth:`get`/:meth:`store` guards make stale
+    interleavings safe: a statement pinned to an older snapshot can
+    neither be served a newer plan nor poison the cache with a plan
+    compiled against a superseded rule.
+    """
 
     def __init__(self, capacity: int = 512):
         self._cache: LruCache[str, CompiledPlan] = LruCache(capacity)
         self.enabled = True
+        #: metadata plan epoch the cached plans were compiled under
+        self.epoch = 0
         # Counters are plain ints mutated under the GIL (lost updates are
         # possible but benign, matching the executor's ExecutionMetrics).
         self.hits = 0
@@ -380,22 +392,45 @@ class PlanCache:
         self.invalidations = 0
         self.last_invalidation = ""
 
-    def get(self, sql: str) -> CompiledPlan | None:
+    def advance_epoch(self, epoch: int, reason: str) -> None:
+        """Adopt a newer metadata plan epoch, dropping every plan.
+
+        Monotonic: an older epoch (a statement pinned to a superseded
+        snapshot) never rolls the cache back.
+        """
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.invalidate(reason)
+
+    def get(self, sql: str, epoch: int | None = None) -> CompiledPlan | None:
+        if epoch is not None and epoch != self.epoch:
+            if epoch > self.epoch:
+                # Lazy adoption: a replaced/fresh cache syncs to the
+                # statement's snapshot on first use.
+                self.advance_epoch(epoch, f"metadata plan epoch {epoch}")
+            return None  # older-pinned statement: compile fresh, don't serve
         return self._cache.get(sql)
 
     def peek(self, sql: str) -> CompiledPlan | None:
         """Diagnostic lookup: no counter or LRU-recency side effects."""
         return self._cache.peek(sql)
 
-    def store(self, plan: CompiledPlan) -> None:
+    def store(self, plan: CompiledPlan, epoch: int | None = None) -> None:
+        if epoch is not None and epoch != self.epoch:
+            if epoch > self.epoch:
+                self.advance_epoch(epoch, f"metadata plan epoch {epoch}")
+            else:
+                return  # compiled against a superseded snapshot: drop
         self._cache.put(plan.sql, plan)
 
     def discard(self, sql: str) -> None:
         self._cache.discard(sql)
 
-    def mark_uncacheable(self, sql: str, reason: str) -> None:
+    def mark_uncacheable(self, sql: str, reason: str, epoch: int | None = None) -> None:
         """Demote an entry to a negative-cache marker (e.g. after the
         federation fallback proved the route template unusable)."""
+        if epoch is not None and epoch < self.epoch:
+            return
         self._cache.put(sql, CompiledPlan(sql, None, False, reason))
 
     def invalidate(self, reason: str) -> None:
@@ -425,6 +460,7 @@ class PlanCache:
             "evictions": self._cache.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate(),
+            "epoch": self.epoch,
         }
 
     def snapshot_rows(self) -> list[tuple[Any, ...]]:

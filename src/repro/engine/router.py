@@ -14,6 +14,12 @@ Implements the paper's two strategies and their sub-strategies:
 
 INSERT batches are routed per values-row, so one logical multi-row INSERT
 becomes one unit per shard holding only that shard's rows.
+
+Concurrency contract: ``route(context, rule)`` is a pure function of its
+arguments. The pipeline always passes the rule of the statement's pinned
+:class:`~repro.metadata.MetadataContext` snapshot — frozen, so neither
+this module nor a concurrent DistSQL mutation can change it mid-route —
+which is what makes routing lock-free under live reconfiguration.
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """Pluggable features (Section IV-C): all implemented as pipeline hooks
 that can be added, removed or combined freely with data sharding."""
 
+from ..engine.pipeline import Feature
 from .circuit import CircuitBreakerFeature, CircuitState, ThrottleFeature
 from .encrypt import (
     EncryptAlgorithm,
@@ -24,6 +25,7 @@ from .scaling import ScalingJob, ScalingPhase, ScalingReport
 from .shadow import ShadowFeature, ShadowRule
 
 __all__ = [
+    "Feature",
     "ReadWriteSplittingFeature",
     "ReadWriteGroup",
     "LoadBalancer",

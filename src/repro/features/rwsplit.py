@@ -96,6 +96,14 @@ class ReadWriteSplittingFeature(Feature):
         self.reads_routed = 0
         self.writes_routed = 0
 
+    def replace_group(self, group: ReadWriteGroup) -> None:
+        """Swap in a reconfigured group (ALTER READWRITE_SPLITTING RULE).
+
+        The feature object itself stays registered — callers bump the
+        metadata version (``ContextManager.touch``) so watchers still see
+        the reconfiguration."""
+        self.groups[group.name] = group
+
     def _is_read(self, context: StatementContext) -> bool:
         statement = context.statement
         if not isinstance(statement, ast.SelectStatement):

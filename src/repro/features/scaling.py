@@ -58,6 +58,7 @@ class ScalingJob:
         batch_size: int = 1000,
         drop_source_tables: bool = False,
         progress: Callable[[str, int], None] | None = None,
+        apply_rule: Callable[[TableRule], None] | None = None,
     ):
         self.rule = rule
         self.target = target_table_rule
@@ -65,6 +66,11 @@ class ScalingJob:
         self.batch_size = batch_size
         self.drop_source_tables = drop_source_tables
         self.progress = progress or (lambda phase, count: None)
+        #: how switchover installs the target rule. Runtimes pass their
+        #: ContextManager-backed installer (snapshots are immutable, so an
+        #: in-place add would raise on a frozen rule); the default mutates
+        #: the given rule directly for standalone/embedded use.
+        self.apply_rule = apply_rule or (lambda table_rule: rule.add_table_rule(table_rule))
         self.phase = ScalingPhase.CREATED
         self.report = ScalingReport(logic_table=target_table_rule.logic_table)
         self._lock = threading.Lock()
@@ -171,7 +177,7 @@ class ScalingJob:
     def _switchover(self, source_rule: TableRule) -> None:
         self.phase = ScalingPhase.SWITCHING
         with self._lock:
-            self.rule.add_table_rule(self.target)
+            self.apply_rule(self.target)
         if self.drop_source_tables:
             for node in source_rule.data_nodes:
                 self._source_of(node).database.drop_table(node.table, if_exists=True)

@@ -21,6 +21,7 @@ DATASOURCES_PATH = "/metadata/datasources"
 PROPS_PATH = "/props"
 STATUS_PATH = "/status"
 INSTANCES_PATH = "/status/instances"
+METADATA_VERSION_PATH = "/status/metadata_version"
 
 
 class ConfigCenter:
@@ -77,6 +78,18 @@ class ConfigCenter:
     def watch_rules(self, kind: str, callback: Callable[[str, str, Any], None]) -> Callable[[], None]:
         return self.registry.watch_children(f"{RULES_PATH}/{kind}", callback)
 
+    def watch_rule_data(self, kind: str, callback: Callable[[str, str, Any], None]) -> Callable[[], None]:
+        """Watch data events on every rule node of ``kind`` (subtree watch).
+
+        Unlike :meth:`watch_rules` (child add/remove only), this also fires
+        when an *existing* rule node is overwritten — the ALTER case a
+        cluster member must converge on.
+        """
+        return self.registry.watch_subtree(f"{RULES_PATH}/{kind}", callback)
+
+    def watch_data_sources(self, callback: Callable[[str, str, Any], None]) -> Callable[[], None]:
+        return self.registry.watch_subtree(DATASOURCES_PATH, callback)
+
     # -- properties --------------------------------------------------------------
 
     def set_prop(self, name: str, value: Any) -> None:
@@ -93,6 +106,29 @@ class ConfigCenter:
             path.rsplit("/", 1)[-1]: value
             for path, value in self.registry.dump(PROPS_PATH).items()
         }
+
+    def watch_props(self, callback: Callable[[str, str, Any], None]) -> Callable[[], None]:
+        return self.registry.watch_subtree(PROPS_PATH, callback)
+
+    # -- metadata versions --------------------------------------------------------
+
+    def publish_metadata_version(self, version: int, reason: str = "") -> None:
+        """Record the latest metadata snapshot version a member produced.
+
+        Written on every :class:`~repro.metadata.ContextManager` mutation so
+        operators (SHOW METADATA, dashboards) can correlate a cluster's
+        config generation; also a convenient wake-up node for coarse
+        watchers."""
+        self.registry.set(
+            METADATA_VERSION_PATH, json.dumps({"version": version, "reason": reason})
+        )
+
+    def metadata_version(self) -> dict[str, Any] | None:
+        """Latest published snapshot version (``{"version", "reason"}``) or None."""
+        try:
+            return json.loads(self.registry.get(METADATA_VERSION_PATH))
+        except NodeNotFoundError:
+            return None
 
     # -- cluster instances (ephemeral) ----------------------------------------------
 

@@ -67,6 +67,7 @@ class Registry:
         self._lock = threading.RLock()
         self._watches: dict[str, list[WatchCallback]] = {}
         self._child_watches: dict[str, list[WatchCallback]] = {}
+        self._subtree_watches: dict[str, list[WatchCallback]] = {}
 
     def session(self) -> Session:
         return Session(self)
@@ -242,14 +243,49 @@ class Registry:
 
         return unsubscribe
 
+    def watch_subtree(self, path: str, callback: WatchCallback) -> Callable[[], None]:
+        """Watch data events (created/changed/deleted) on ``path`` and every
+        descendant — the cluster-propagation primitive: a ``set`` on an
+        existing rule node fires no child event, so child watches alone miss
+        ALTERs. Returns an unsubscribe function."""
+        path = _normalize(path)
+        with self._lock:
+            self._subtree_watches.setdefault(path, []).append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                callbacks = self._subtree_watches.get(path, [])
+                if callback in callbacks:
+                    callbacks.remove(callback)
+
+        return unsubscribe
+
     def _fire(self, events: list[tuple[str, str, Any]]) -> None:
         for event, path, value in events:
             if event == "child":
                 for callback in list(self._child_watches.get(path, [])):
-                    callback(event, path, value)
+                    self._invoke(callback, event, path, value)
             else:
                 for callback in list(self._watches.get(path, [])):
-                    callback(event, path, value)
+                    self._invoke(callback, event, path, value)
+                with self._lock:
+                    subtree = [
+                        cb
+                        for base, cbs in self._subtree_watches.items()
+                        if path == base or path.startswith(base + "/")
+                        for cb in cbs
+                    ]
+                for callback in subtree:
+                    self._invoke(callback, event, path, value)
+
+    @staticmethod
+    def _invoke(callback: WatchCallback, event: str, path: str, value: Any) -> None:
+        """Fire one watcher, isolating its failures: a broken peer watcher
+        must not abort the writer's mutation (or starve later watchers)."""
+        try:
+            callback(event, path, value)
+        except Exception:
+            pass
 
     # -- utility -------------------------------------------------------------------
 

@@ -201,6 +201,20 @@ class Observability:
             lambda: pool.idle, source=source
         )
 
+    def unwatch_pool(self, source: str, pool: "ConnectionPool | None" = None) -> None:
+        """Detach one pool's instruments (UNREGISTER RESOURCE).
+
+        Drops the occupancy gauge children and the checkout-wait histogram
+        child so exports stop reporting a ghost source, and clears the
+        pool's wait observer so a lingering reference to the closed pool
+        can't keep feeding the histogram.
+        """
+        self.registry.gauge("pool_in_use", labelnames=("source",)).remove(source=source)
+        self.registry.gauge("pool_idle", labelnames=("source",)).remove(source=source)
+        self._pool_wait.remove(source=source)
+        if pool is not None:
+            pool.wait_observer = None
+
     def register_execution_metrics(self, metrics: Any) -> None:
         """Fold the executor's ad-hoc counters into the registry (pull)."""
         self.registry.register_collector(metrics.families, key=metrics)
@@ -214,6 +228,10 @@ class Observability:
         self.registry.register_collector(
             lambda: cache.families(source), key=(cache, source)
         )
+
+    def unregister_storage_plan_cache(self, source: str, cache: Any) -> None:
+        """Drop one data source's storage-plan-cache collector."""
+        self.registry.unregister_collector((cache, source))
 
     # -- reporting ------------------------------------------------------------
 

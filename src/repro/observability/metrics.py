@@ -66,6 +66,12 @@ class _Metric:
     def _label_dict(self, key: LabelValues) -> dict[str, str]:
         return dict(zip(self.labelnames, key))
 
+    def remove(self, **labels: Any) -> None:
+        """Drop one label set's child (e.g. an unregistered data source)."""
+        key = self._key(labels)
+        with self._lock:
+            self._children.pop(key, None)
+
 
 class Counter(_Metric):
     """Monotonic counter family.
@@ -315,8 +321,9 @@ class MetricsRegistry:
         self.lock = threading.Lock()
         self._families: dict[str, _Metric] = {}
         self._order: list[str] = []
-        self._collectors: list[Collector] = []
-        self._collector_keys: set[int] = set()
+        #: (dedup key, collector) pairs; keys compare by equality so an
+        #: UNREGISTER RESOURCE can drop a source's collector again
+        self._collectors: list[tuple[Any, Collector]] = []
 
     # -- family creation (get-or-create, kind-checked) --------------------
 
@@ -351,11 +358,20 @@ class MetricsRegistry:
 
     def register_collector(self, collector: Collector, key: Any = None) -> None:
         """Add a pull-time sample source; ``key`` dedupes re-registration."""
-        if key is not None:
-            if id(key) in self._collector_keys:
+        marker = key if key is not None else collector
+        with self.lock:
+            if any(existing == marker for existing, _ in self._collectors):
                 return
-            self._collector_keys.add(id(key))
-        self._collectors.append(collector)
+            self._collectors.append((marker, collector))
+
+    def unregister_collector(self, key: Any) -> None:
+        """Remove the collector registered under ``key`` (no-op if absent)."""
+        with self.lock:
+            self._collectors = [
+                (marker, collector)
+                for marker, collector in self._collectors
+                if marker != key
+            ]
 
     # -- collection ---------------------------------------------------------
 
@@ -365,7 +381,7 @@ class MetricsRegistry:
         for name in list(self._order):
             metric = self._families[name]
             out.append((metric.name, metric.kind, metric.help, metric.samples()))
-        for collector in self._collectors:
+        for _, collector in list(self._collectors):
             out.extend(collector())
         return out
 
@@ -384,7 +400,7 @@ class MetricsRegistry:
                     lines.append(
                         f"{metric.name}{_render_labels(labels)} {_format_value(value)}"
                     )
-        for collector in self._collectors:
+        for _, collector in list(self._collectors):
             for name, kind, help, samples in collector():
                 if help:
                     lines.append(f"# HELP {name} {help}")

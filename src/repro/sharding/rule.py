@@ -304,7 +304,14 @@ def build_standard_table_rule(
 
 
 class ShardingRule:
-    """Complete sharding configuration of one logical schema."""
+    """Complete sharding configuration of one logical schema.
+
+    Rules start mutable (DistSQL RDL and tests build them incrementally).
+    Once handed to a :class:`~repro.metadata.MetadataContext` snapshot the
+    managing :class:`~repro.metadata.ContextManager` calls :meth:`freeze`;
+    frozen rules reject every mutator, and the single writer mutates a
+    :meth:`copy` instead (copy-on-write snapshots).
+    """
 
     def __init__(
         self,
@@ -313,6 +320,7 @@ class ShardingRule:
         broadcast_tables: Iterable[str] = (),
         default_data_source: str | None = None,
     ):
+        self._frozen = False
         self._table_rules: dict[str, TableRule] = {}
         for rule in table_rules:
             self.add_table_rule(rule)
@@ -320,14 +328,55 @@ class ShardingRule:
         for group in binding_groups:
             self.add_binding_group(group)
         self.broadcast_tables = {t.lower() for t in broadcast_tables}
-        self.default_data_source = default_data_source
+        self._default_data_source = default_data_source
+
+    # -- freeze / copy (versioned metadata contexts) -------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "ShardingRule":
+        """Make this rule immutable; mutators raise from now on."""
+        self._frozen = True
+        return self
+
+    def copy(self) -> "ShardingRule":
+        """A mutable shallow copy (TableRule objects are immutable in
+        practice and stay shared, keeping route-memo identity for
+        untouched tables)."""
+        clone = ShardingRule.__new__(ShardingRule)
+        clone._frozen = False
+        clone._table_rules = dict(self._table_rules)
+        clone.binding_groups = [set(group) for group in self.binding_groups]
+        clone.broadcast_tables = set(self.broadcast_tables)
+        clone._default_data_source = self._default_data_source
+        return clone
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise ShardingConfigError(
+                "this ShardingRule belongs to an immutable metadata snapshot; "
+                "mutate through the runtime/ContextManager (copy-on-write)"
+            )
+
+    @property
+    def default_data_source(self) -> str | None:
+        return self._default_data_source
+
+    @default_data_source.setter
+    def default_data_source(self, name: str | None) -> None:
+        self._check_mutable()
+        self._default_data_source = name
 
     # -- mutation (used by DistSQL RDL) --------------------------------------
 
     def add_table_rule(self, rule: TableRule) -> None:
+        self._check_mutable()
         self._table_rules[rule.logic_table.lower()] = rule
 
     def drop_table_rule(self, logic_table: str) -> None:
+        self._check_mutable()
         key = logic_table.lower()
         if key not in self._table_rules:
             raise ShardingConfigError(f"no sharding rule for table {logic_table!r}")
@@ -337,6 +386,7 @@ class ShardingRule:
         ]
 
     def add_binding_group(self, tables: Sequence[str]) -> None:
+        self._check_mutable()
         group = {t.lower() for t in tables}
         if len(group) < 2:
             raise ShardingConfigError("a binding group needs at least two tables")
@@ -349,6 +399,7 @@ class ShardingRule:
         self.binding_groups.append(group)
 
     def add_broadcast_table(self, table: str) -> None:
+        self._check_mutable()
         self.broadcast_tables.add(table.lower())
 
     # -- queries -------------------------------------------------------------

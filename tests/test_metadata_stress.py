@@ -1,0 +1,134 @@
+"""Concurrency stress: readers under live reconfiguration (no torn snapshots).
+
+Satellite of the versioned-metadata PR: reader threads hammer point
+selects while a writer loops RDL (CREATE/DROP SHARDING TABLE RULE) and
+resource churn (REGISTER/UNREGISTER RESOURCE). The contracts under test:
+
+- no statement ever errors because config changed mid-flight;
+- every statement observes exactly ONE metadata snapshot — all of its
+  trace spans carry the same ``metadata_version`` attribute;
+- results stay correct throughout (the row for ``uid`` comes back);
+- once the churn settles, new statements route by the latest rule.
+
+Marked ``concurrency``; CI runs this file three times to shake out
+interleavings (`pytest -m concurrency`).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.adaptors import ShardingDataSource, ShardingRuntime
+
+READERS = 4
+WRITER_ROUNDS = 25
+USERS = 50
+
+
+@pytest.fixture
+def runtime():
+    rt = ShardingRuntime(max_connections_per_query=4)
+    with ShardingDataSource(rt).get_connection() as conn:
+        conn.execute("REGISTER RESOURCE ds0, ds1")
+        conn.execute(
+            "CREATE SHARDING TABLE RULE t_user (RESOURCES(ds0, ds1), "
+            "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES('sharding-count'=2))"
+        )
+        conn.execute("CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(64))")
+        for uid in range(1, USERS + 1):
+            conn.execute(
+                "INSERT INTO t_user (uid, name) VALUES (?, ?)", (uid, f"user-{uid}")
+            )
+    yield rt
+    rt.close()
+
+
+@pytest.mark.concurrency
+class TestMetadataStress:
+    def test_readers_never_see_torn_snapshots(self, runtime):
+        errors: list[BaseException] = []
+        torn: list[str] = []
+        stop = threading.Event()
+        statements = [0]
+
+        def reader(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                while not stop.is_set():
+                    uid = rng.randint(1, USERS)
+                    result = runtime.engine.execute(
+                        "SELECT * FROM t_user WHERE uid = ?", (uid,), force_trace=True
+                    )
+                    rows = result.fetchall()
+                    if not rows or rows[0][0] != uid:
+                        torn.append(f"wrong rows for uid={uid}: {rows}")
+                        return
+                    versions = {
+                        span.attributes["metadata_version"]
+                        for span in result.trace.spans
+                        if "metadata_version" in span.attributes
+                    }
+                    if len(versions) != 1:
+                        torn.append(f"statement saw {len(versions)} versions: {versions}")
+                        return
+                    statements[0] += 1
+            except BaseException as exc:  # noqa: BLE001 - reported via `errors`
+                errors.append(exc)
+
+        def rule_writer() -> None:
+            conn = ShardingDataSource(runtime).get_connection()
+            try:
+                for _ in range(WRITER_ROUNDS):
+                    conn.execute("REGISTER RESOURCE w0")
+                    conn.execute(
+                        "CREATE SHARDING TABLE RULE t_hot (RESOURCES(w0), "
+                        "SHARDING_COLUMN=hid, TYPE=mod, PROPERTIES('sharding-count'=1))"
+                    )
+                    conn.execute("DROP SHARDING TABLE RULE t_hot")
+                    conn.execute("UNREGISTER RESOURCE w0")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+                conn.close()
+
+        def variable_writer() -> None:
+            try:
+                threshold = 100
+                while not stop.is_set():
+                    threshold = 300 - threshold  # 100 <-> 200
+                    runtime.set_variable("slow_query_threshold_ms", threshold)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,)) for seed in range(READERS)
+        ]
+        threads.append(threading.Thread(target=rule_writer))
+        threads.append(threading.Thread(target=variable_writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        assert not errors, errors[0]
+        assert not torn, torn[0]
+        assert statements[0] > 0, "readers never completed a statement"
+        # 4 metadata mutations per writer round, plus the variable churn
+        assert runtime.metadata.version > WRITER_ROUNDS * 4
+
+    def test_post_change_routing_follows_latest_rule(self, runtime):
+        conn = ShardingDataSource(runtime).get_connection()
+        conn.execute("REGISTER RESOURCE w0")
+        conn.execute(
+            "CREATE SHARDING TABLE RULE t_hot (RESOURCES(w0), "
+            "SHARDING_COLUMN=hid, TYPE=mod, PROPERTIES('sharding-count'=1))"
+        )
+        conn.execute("CREATE TABLE t_hot (hid INT PRIMARY KEY, note VARCHAR(32))")
+        conn.execute("INSERT INTO t_hot (hid, note) VALUES (?, ?)", (7, "after"))
+        targets = dict(runtime.preview("SELECT * FROM t_hot WHERE hid = 7"))
+        assert list(targets) == ["w0"]
+        rows = conn.execute("SELECT note FROM t_hot WHERE hid = 7").fetchall()
+        assert rows == [("after",)]
+        conn.close()
