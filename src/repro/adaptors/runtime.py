@@ -77,6 +77,7 @@ class ShardingRuntime:
                 "tracing": "OFF",
                 "slow_query_threshold_ms": self.observability.slow_log.threshold * 1000.0,
                 "plan_cache": "ON",
+                "workload_analytics": "ON",
             },
             config_center=self.config_center,
         )
@@ -221,6 +222,10 @@ class ShardingRuntime:
                 raise DistSQLError("slow_query_threshold_ms must be >= 0")
             self.observability.slow_log.threshold = millis / 1000.0
             stored = millis
+        elif name == "workload_analytics":
+            enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
+            self.observability.workload.enabled = enabled
+            stored = "ON" if enabled else "OFF"
         else:  # plan_cache
             enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
             self.engine.plan_cache.enabled = enabled

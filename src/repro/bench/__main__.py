@@ -66,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "BENCH_profile.json")
     parser.add_argument("--profile-output", default="BENCH_profile.json",
                         help="where --profile writes its JSON report")
+    parser.add_argument("--profile-sample-every", type=int, default=1,
+                        help="stage-sampling stride under --profile (1 = exact "
+                             "histograms; 8 = production-style 1-in-8 sampling)")
+    parser.add_argument("--skew", choices=("uniform", "zipfian"), default="uniform",
+                        help="point/update key distribution (sysbench --rand-type); "
+                             "zipfian skews toward low ids to create hot shards")
+    parser.add_argument("--zipf-exponent", type=float, default=1.2,
+                        help="zipfian skew exponent (higher = hotter head)")
+    parser.add_argument("--no-workload-analytics", action="store_true",
+                        help="disable the workload-intelligence layer (digests, "
+                             "heat maps, hot keys, SLO tracking) for overhead "
+                             "comparisons")
     return parser
 
 
@@ -113,10 +125,26 @@ def enable_profile(system, args: argparse.Namespace):
     from ..observability import Observability
 
     observability = Observability()
-    observability.stage_sample_every = 1  # profiling: exact histograms
+    observability.stage_sample_every = max(1, args.profile_sample_every)
     runtime.observability = observability
     runtime.engine.attach_observability(observability)
     return observability
+
+
+def apply_workload_analytics(system, args: argparse.Namespace) -> None:
+    """Honor --no-workload-analytics on whatever Observability is live.
+
+    Called after enable_profile so the toggle survives the profile's
+    registry swap.
+    """
+    runtime = getattr(system, "runtime", None)
+    observability = getattr(runtime, "observability", None)
+    if observability is None:
+        if args.no_workload_analytics:
+            print(f"warning: --no-workload-analytics ignored: {system.name} "
+                  "has no sharding runtime", file=sys.stderr)
+        return
+    observability.workload.enabled = not args.no_workload_analytics
 
 
 def _plan_cache_stats(system):
@@ -213,6 +241,38 @@ def print_profile_report(system, observability, measurement, args,
             f"invalidations={delta['invalidations']}, "
             f"size={storage_after['size']})"
         )
+    workload = getattr(observability, "workload", None)
+    if workload is not None and workload.enabled:
+        digests = workload.digest_report(limit=10)
+        heat = workload.heat_report()
+        skew = workload.table_skew()
+        hot_keys = workload.hot_key_report(limit=10)
+        payload["digests"] = digests
+        payload["shard_heat"] = {"nodes": heat, "tables": skew}
+        payload["hot_keys"] = hot_keys
+        payload["slo"] = {
+            "objectives": workload.slo_report(),
+            "alerts": workload.alert_report(),
+        }
+        if digests:
+            top = digests[0]
+            print(
+                f"workload: {len(digests)} digest(s); top by time: "
+                f"{top['sql'][:60]!r} calls={top['calls']} "
+                f"avg={top['avg_ms']}ms p95={top['p95_ms']}ms"
+            )
+        for table, info in skew.items():
+            print(
+                f"workload: table {table} imbalance {info['imbalance']}x "
+                f"across {info['nodes']} node(s), hottest {info['hottest']}"
+            )
+        if hot_keys:
+            head = hot_keys[0]
+            print(
+                f"workload: hottest key {head['table']}.{head['column']}="
+                f"{head['key']} (count {head['count']}, "
+                f"share {head['share']:.1%})"
+            )
     with open(args.profile_output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -264,12 +324,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.workload == "sysbench":
-        workload = SysbenchWorkload(SysbenchConfig(table_size=args.table_size))
+        workload = SysbenchWorkload(SysbenchConfig(
+            table_size=args.table_size,
+            key_distribution=args.skew,
+            zipf_exponent=args.zipf_exponent,
+        ))
         system = build_system(args, [("sbtest", "id")])
         print(f"preparing {args.system} with {args.table_size} rows ...", file=sys.stderr)
         workload.prepare(system)
         injector = enable_chaos(system, args) if args.chaos else None
         observability = enable_profile(system, args) if args.profile else None
+        apply_workload_analytics(system, args)
         plan_before = _plan_cache_stats(system) if args.profile else None
         storage_before = _storage_plan_stats(system) if args.profile else None
         try:
@@ -299,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
     workload.prepare(system)
     injector = enable_chaos(system, args) if args.chaos else None
     observability = enable_profile(system, args) if args.profile else None
+    apply_workload_analytics(system, args)
     plan_before = _plan_cache_stats(system) if args.profile else None
     storage_before = _storage_plan_stats(system) if args.profile else None
     try:

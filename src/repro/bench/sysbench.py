@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 import string
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from ..baselines.base import Session, SystemUnderTest
@@ -39,6 +40,12 @@ class SysbenchConfig:
     c_length: int = 119
     pad_length: int = 59
 
+    #: how point/update row ids are drawn: "uniform" matches classic
+    #: sysbench; "zipfian" skews toward low ids (sysbench's --rand-type
+    #: equivalent) so hot-key detection has something to find.
+    key_distribution: str = "uniform"
+    zipf_exponent: float = 1.2
+
 
 SCENARIOS = ("point_select", "read_only", "write_only", "read_write")
 
@@ -61,6 +68,24 @@ class SysbenchWorkload:
 
     def __init__(self, config: SysbenchConfig | None = None):
         self.config = config or SysbenchConfig()
+        cfg = self.config
+        if cfg.key_distribution not in ("uniform", "zipfian"):
+            raise ValueError(
+                f"unknown key_distribution {cfg.key_distribution!r}; "
+                "known: uniform, zipfian"
+            )
+        self._zipf_cdf: list[float] = []
+        self._zipf_total = 0.0
+        if cfg.key_distribution == "zipfian":
+            # Zipf over ids 1..table_size: P(id=i) ~ 1/i^s. Precompute the
+            # cumulative weights once; sampling is then one bisect per id.
+            total = 0.0
+            cdf = []
+            for i in range(1, cfg.table_size + 1):
+                total += 1.0 / (i ** cfg.zipf_exponent)
+                cdf.append(total)
+            self._zipf_cdf = cdf
+            self._zipf_total = total
 
     # ------------------------------------------------------------------
     # Prepare phase
@@ -106,6 +131,9 @@ class SysbenchWorkload:
             raise ValueError(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
 
     def _rand_id(self, rng: random.Random) -> int:
+        if self._zipf_cdf:
+            u = rng.random() * self._zipf_total
+            return bisect_left(self._zipf_cdf, u) + 1
         return rng.randint(1, self.config.table_size)
 
     def _range_bounds(self, rng: random.Random) -> tuple[int, int]:

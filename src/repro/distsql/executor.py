@@ -90,16 +90,26 @@ def _register_resource(stmt: p.RegisterResource, runtime: Runtime) -> DistSQLRes
 
 
 def _unregister_resource(stmt: p.UnregisterResource, runtime: Runtime) -> DistSQLResult:
+    # Idempotent: unknown (already unregistered) names are skipped, so a
+    # retried or doubled UNREGISTER RESOURCE never raises — only resources
+    # still referenced by a sharding rule are refused.
+    removed = 0
+    skipped: list[str] = []
     for name in stmt.names:
         if name not in runtime.data_sources:
-            raise DistSQLError(f"resource {name!r} is not registered")
+            skipped.append(name)
+            continue
         in_use = any(
             name in rule.data_source_names for rule in runtime.rule.table_rules()
         )
         if in_use:
             raise DistSQLError(f"resource {name!r} is referenced by sharding rules")
         runtime.unregister_resource(name)
-    return DistSQLResult(message=f"unregistered {len(stmt.names)} resource(s)")
+        removed += 1
+    message = f"unregistered {removed} resource(s)"
+    if skipped:
+        message += f"; skipped {', '.join(skipped)} (not registered)"
+    return DistSQLResult(message=message)
 
 
 def _create_sharding_rule(stmt: p.CreateShardingTableRule, runtime: Runtime) -> DistSQLResult:
@@ -392,6 +402,11 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             columns=["field", "value"], rows=rows,
             message=f"metadata context v{snap.version} ({snap.reason})",
         )
+    if stmt.subject in (
+        "statement_digests", "shard_heat", "hot_keys", "slo", "slo_alerts",
+        "slow_queries_by_digest",
+    ):
+        return _show_workload(stmt, runtime)
     if stmt.subject == "failovers":
         detector = getattr(runtime, "health_detector", None)
         events = detector.failover_events if detector is not None else []
@@ -405,6 +420,111 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             message="no health detector attached" if detector is None else "OK",
         )
     raise DistSQLError(f"unknown SHOW subject {stmt.subject!r}")
+
+
+def _workload_of(runtime: Runtime):
+    observability = getattr(runtime, "observability", None)
+    return getattr(observability, "workload", None)
+
+
+def _show_workload(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
+    """Workload-intelligence views (SHOW STATEMENT DIGESTS / SHARD HEAT /
+    HOT KEYS / SLO [ALERTS] / SLOW QUERIES GROUP BY DIGEST)."""
+    workload = _workload_of(runtime)
+    if stmt.subject == "slow_queries_by_digest":
+        observability = getattr(runtime, "observability", None)
+        entries = observability.slow_log.entries() if observability is not None else []
+        by_digest: dict[str, list[Any]] = {}
+        for entry in entries:
+            by_digest.setdefault(entry.digest or "-", []).append(entry)
+        rows = []
+        for digest, group in by_digest.items():
+            walls = [e.wall for e in group]
+            route_types = sorted({e.route_type for e in group if e.route_type})
+            rows.append((
+                digest,
+                len(group),
+                sum(1 for e in group if e.kind == "slow"),
+                round(sum(walls) / len(walls) * 1000, 3),
+                round(max(walls) * 1000, 3),
+                ", ".join(route_types) or "-",
+                group[0].sql,  # entries() is newest-first
+            ))
+        rows.sort(key=lambda r: r[4], reverse=True)
+        return DistSQLResult(
+            columns=["digest", "entries", "slow", "wall_avg_ms", "wall_max_ms",
+                     "route_types", "last_sql"],
+            rows=rows,
+        )
+    if workload is None:
+        return DistSQLResult(message="no observability attached")
+    message = "OK" if workload.enabled else (
+        "workload analytics are OFF (SET VARIABLE workload_analytics = on)"
+    )
+    if stmt.subject == "statement_digests":
+        rows = [
+            (
+                d["digest"], d["calls"], d["errors"], d["rows"], d["avg_ms"],
+                d["p95_ms"], d["max_ms"], d["fanout_avg"], d["plan_hit_rate"],
+                d["storage_plan_hit_rate"], d["exemplar_ms"], d["sql"],
+            )
+            for d in workload.digest_report()
+        ]
+        return DistSQLResult(
+            columns=["digest", "calls", "errors", "rows", "avg_ms", "p95_ms",
+                     "max_ms", "fanout_avg", "plan_hit_rate",
+                     "storage_plan_hit_rate", "exemplar_ms", "sql"],
+            rows=rows, message=message,
+        )
+    if stmt.subject == "shard_heat":
+        skew = workload.table_skew()
+        rows = [
+            (
+                h["table"], h["data_source"], h["actual_table"], h["reads"],
+                h["writes"], h["rows"], h["wall_ms"], h["simulated_ms"],
+                h["share"],
+                skew.get(h["table"], {}).get("imbalance", 0.0),
+            )
+            for h in workload.heat_report()
+        ]
+        return DistSQLResult(
+            columns=["table", "data_source", "actual_table", "reads", "writes",
+                     "rows", "wall_ms", "simulated_ms", "share", "imbalance"],
+            rows=rows, message=message,
+        )
+    if stmt.subject == "hot_keys":
+        rows = [
+            (h["table"], h["column"], h["key"], h["count"], h["max_error"],
+             h["share"])
+            for h in workload.hot_key_report(table=stmt.pattern)
+        ]
+        return DistSQLResult(
+            columns=["table", "column", "key", "estimated_count", "max_error",
+                     "share"],
+            rows=rows, message=message,
+        )
+    if stmt.subject == "slo":
+        rows = [
+            (s["route_type"], s["threshold_ms"], s["target"], s["statements"],
+             s["breaches"], s["compliance"], s["budget_burn"], s["state"])
+            for s in workload.slo_report()
+        ]
+        return DistSQLResult(
+            columns=["route_type", "threshold_ms", "target", "statements",
+                     "breaches", "compliance", "budget_burn", "state"],
+            rows=rows, message=message,
+        )
+    # slo_alerts
+    rows = [
+        (a["seq"], a["route_type"], a["burn_rate"], a["statements"],
+         a["breaches"], a["threshold_ms"])
+        for a in workload.alert_report()
+    ]
+    return DistSQLResult(
+        columns=["seq", "route_type", "burn_rate", "statements", "breaches",
+                 "threshold_ms"],
+        rows=rows, message=message,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -465,6 +585,14 @@ def _clear_plan_cache(stmt: p.ClearPlanCache, runtime: Runtime) -> DistSQLResult
     dropped = len(plan_cache)
     plan_cache.invalidate("CLEAR PLAN CACHE")
     return DistSQLResult(message=f"cleared {dropped} plan(s)")
+
+
+def _reset_workload(stmt: p.ResetWorkload, runtime: Runtime) -> DistSQLResult:
+    workload = _workload_of(runtime)
+    if workload is None:
+        raise DistSQLError("RESET WORKLOAD requires observability attached")
+    workload.reset()
+    return DistSQLResult(message="workload analytics reset")
 
 
 def _migrate_table(stmt: p.MigrateTable, runtime: Runtime) -> DistSQLResult:
@@ -546,5 +674,6 @@ _HANDLERS = {
     p.Preview: _preview,
     p.TraceStatement: _trace,
     p.ClearPlanCache: _clear_plan_cache,
+    p.ResetWorkload: _reset_workload,
     p.MigrateTable: _migrate_table,
 }

@@ -155,6 +155,13 @@ class ClearPlanCache(DistSQLStatement):
 
 
 @dataclass
+class ResetWorkload(DistSQLStatement):
+    """Drop accumulated workload analytics (digests, heat, SLOs) (RAL)."""
+
+    language = "RAL"
+
+
+@dataclass
 class MigrateTable(DistSQLStatement):
     """Online scaling: reshard a table onto a new layout (RAL)."""
 
@@ -190,11 +197,16 @@ _DIST_PREFIXES = (
     "SHOW TRACES",
     "SHOW SLOW",
     "SHOW PLAN",
+    "SHOW STATEMENT",
+    "SHOW SHARD",
+    "SHOW HOT",
+    "SHOW SLO",
     "CLEAR PLAN",
     "SET VARIABLE",
     "PREVIEW",
     "TRACE ",
     "MIGRATE TABLE",
+    "RESET WORKLOAD",
 )
 
 
@@ -344,6 +356,9 @@ class _Parser:
             self._expect_word("PLAN")
             self._expect_word("CACHE")
             return ClearPlanCache()
+        if self._accept_word("RESET"):
+            self._expect_word("WORKLOAD")
+            return ResetWorkload()
         if self._accept_word("MIGRATE"):
             self._expect_word("TABLE")
             rule = self._sharding_table_rule(alter=False)
@@ -442,6 +457,8 @@ class _Parser:
             if self._accept_word("TABLE"):
                 self._expect_word("RULES")
                 return ShowStatement(subject="sharding_rules")
+            if self._accept_word("HEAT"):
+                raise DistSQLError("did you mean SHOW SHARD HEAT?")
             if self._accept_word("BINDING"):
                 self._expect_word("TABLE")
                 self._expect_word("RULES")
@@ -473,10 +490,29 @@ class _Parser:
             return ShowStatement(subject="traces")
         if self._accept_word("SLOW"):
             self._expect_word("QUERIES")
+            if self._accept_word("GROUP"):
+                self._expect_word("BY")
+                self._expect_word("DIGEST")
+                return ShowStatement(subject="slow_queries_by_digest")
             return ShowStatement(subject="slow_queries")
         if self._accept_word("PLAN"):
             self._expect_word("CACHE")
             return ShowStatement(subject="plan_cache")
         if self._accept_word("METADATA"):
             return ShowStatement(subject="metadata")
+        if self._accept_word("STATEMENT"):
+            self._expect_word("DIGESTS")
+            return ShowStatement(subject="statement_digests")
+        if self._accept_word("SHARD"):
+            self._expect_word("HEAT")
+            return ShowStatement(subject="shard_heat")
+        if self._accept_word("HOT"):
+            self._expect_word("KEYS")
+            if self._accept_word("FOR"):
+                return ShowStatement(subject="hot_keys", pattern=self._expect_name())
+            return ShowStatement(subject="hot_keys")
+        if self._accept_word("SLO"):
+            if self._accept_word("ALERTS"):
+                return ShowStatement(subject="slo_alerts")
+            return ShowStatement(subject="slo")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

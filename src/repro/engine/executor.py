@@ -228,6 +228,7 @@ class ExecutionEngine:
         trace: "Trace | None" = None,
         parent_span: "Span | None" = None,
         sources: Mapping[str, DataSource] | None = None,
+        heat: Any = None,
     ) -> ExecutionResult:
         """Run all units; group per data source and pick connection modes.
 
@@ -242,6 +243,11 @@ class ExecutionEngine:
         to one metadata snapshot's immutable data-source view, so a
         concurrent UNREGISTER RESOURCE cannot yank a source out from under
         an in-flight statement; None falls back to the live map.
+        ``heat`` is the workload tracker's per-statement sample carrier
+        (``WorkloadIntelligence.begin_statement``): when present, each
+        completed unit reports its wall time, cursor and row count to
+        ``heat.unit_done`` for shard-heat accounting. None (the unsampled
+        majority) costs one comparison per unit.
         """
         deadline = self._statement_deadline()
         result = ExecutionResult()
@@ -282,6 +288,7 @@ class ExecutionEngine:
             if pinned is not None:
                 if span is not None:
                     span.attributes["mode"] = ConnectionMode.CONNECTION_STRICTLY.value
+                t0 = time.perf_counter() if heat is not None else 0.0
                 cursor = self._run_attempts(
                     unit.data_source,
                     lambda: self._traced(pinned, unit, span),
@@ -295,11 +302,17 @@ class ExecutionEngine:
                     rows = cursor.fetchall()
                     if span is not None:
                         span.attributes["rows"] = len(rows)
+                    if heat is not None:
+                        heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
                     result.results.append(MaterializedResult(cursor.columns, rows))
                 else:
                     result.update_count += max(cursor.rowcount, 0)
                     if span is not None:
                         span.attributes["rows"] = max(cursor.rowcount, 0)
+                    if heat is not None:
+                        heat.unit_done(
+                            unit, time.perf_counter() - t0, cursor, max(cursor.rowcount, 0)
+                        )
                 self.metrics.statements += 1
                 return result
             source = self._source(unit.data_source, sources_map)
@@ -317,6 +330,7 @@ class ExecutionEngine:
                     holder[0] = conn = source.pool.acquire()
                 return self._traced(conn, unit, span)
 
+            t0 = time.perf_counter() if heat is not None else 0.0
             try:
                 cursor = self._run_attempts(
                     unit.data_source, attempt_single,
@@ -334,15 +348,25 @@ class ExecutionEngine:
                     # the storage span (tracing is opt-in)
                     rows = cursor.fetchall()
                     span.attributes["rows"] = len(rows)
+                    if heat is not None:
+                        heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
                     result.results.append(MaterializedResult(cursor.columns, rows))
                     source.pool.release(connection)
                 else:
+                    # streaming: the row count is unknown until the caller
+                    # drains the merged iterator (rows=-1 → sink fills it in)
+                    if heat is not None:
+                        heat.unit_done(unit, time.perf_counter() - t0, cursor, -1)
                     result.results.append(cursor)
                     result.finalizers.append(lambda: source.pool.release(connection))
             else:
                 result.update_count += max(cursor.rowcount, 0)
                 if span is not None:
                     span.attributes["rows"] = max(cursor.rowcount, 0)
+                if heat is not None:
+                    heat.unit_done(
+                        unit, time.perf_counter() - t0, cursor, max(cursor.rowcount, 0)
+                    )
                 source.pool.release(connection)
             self.metrics.statements += 1
             return result
@@ -358,7 +382,7 @@ class ExecutionEngine:
             if pinned is not None:
                 futures.append(
                     (ds_name,
-                     self._pool.submit(self._run_pinned, pinned, group, is_query, deadline, spans))
+                     self._pool.submit(self._run_pinned, pinned, group, is_query, deadline, spans, heat))
                 )
                 result.modes[ds_name] = ConnectionMode.CONNECTION_STRICTLY
                 self._annotate_mode(spans, group, ConnectionMode.CONNECTION_STRICTLY)
@@ -371,13 +395,13 @@ class ExecutionEngine:
                 self.metrics.connection_strictly += 1
                 futures.append(
                     (ds_name,
-                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline, spans))
+                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline, spans, heat))
                 )
             else:
                 self.metrics.memory_strictly += 1
                 futures.append(
                     (ds_name,
-                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline, spans))
+                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline, spans, heat))
                 )
 
         errors: list[BaseException] = []
@@ -645,12 +669,14 @@ class ExecutionEngine:
         is_query: bool,
         deadline: float | None = None,
         spans: "dict[int, Span] | None" = None,
+        heat: Any = None,
     ) -> tuple[list[ShardResult], int]:
         """Transactional path: all units run serially on the pinned connection."""
         results: list[ShardResult] = []
         update_count = 0
         for unit in group:
             span = spans.get(id(unit)) if spans is not None else None
+            t0 = time.perf_counter() if heat is not None else 0.0
             cursor = self._run_attempts(
                 unit.data_source,
                 lambda unit=unit, span=span: self._traced(connection, unit, span),
@@ -661,11 +687,17 @@ class ExecutionEngine:
                 rows = cursor.fetchall()
                 if span is not None:
                     span.attributes["rows"] = len(rows)
+                if heat is not None:
+                    heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
                 results.append(MaterializedResult(cursor.columns, rows))
             else:
                 update_count += max(cursor.rowcount, 0)
                 if span is not None:
                     span.attributes["rows"] = max(cursor.rowcount, 0)
+                if heat is not None:
+                    heat.unit_done(
+                        unit, time.perf_counter() - t0, cursor, max(cursor.rowcount, 0)
+                    )
         return results, update_count
 
     def _run_connection_strictly(
@@ -675,6 +707,7 @@ class ExecutionEngine:
         is_query: bool,
         deadline: float | None = None,
         spans: "dict[int, Span] | None" = None,
+        heat: Any = None,
     ) -> tuple[list[ShardResult], int]:
         """θ > 1: few connections, several SQLs each, memory-loaded results.
 
@@ -700,6 +733,7 @@ class ExecutionEngine:
                             holder[0] = source.pool.acquire()
                         return self._traced(holder[0], unit, span)
 
+                    t0 = time.perf_counter() if heat is not None else 0.0
                     cursor = self._run_attempts(
                         unit.data_source, attempt,
                         is_query=is_query, pinned=None, deadline=deadline, span=span,
@@ -709,11 +743,18 @@ class ExecutionEngine:
                         rows = cursor.fetchall()
                         if span is not None:
                             span.attributes["rows"] = len(rows)
+                        if heat is not None:
+                            heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
                         results.append(MaterializedResult(cursor.columns, rows))
                     else:
                         update_count += max(cursor.rowcount, 0)
                         if span is not None:
                             span.attributes["rows"] = max(cursor.rowcount, 0)
+                        if heat is not None:
+                            heat.unit_done(
+                                unit, time.perf_counter() - t0, cursor,
+                                max(cursor.rowcount, 0),
+                            )
             finally:
                 source.pool.release(holder[0])
             return results, update_count
@@ -737,6 +778,7 @@ class ExecutionEngine:
         result: ExecutionResult,
         deadline: float | None = None,
         spans: "dict[int, Span] | None" = None,
+        heat: Any = None,
     ) -> tuple[list[ShardResult], int]:
         """θ = 1: one connection per SQL, streaming cursors (stream merger)."""
         connections = self._acquire_batch(source, len(group))
@@ -753,6 +795,7 @@ class ExecutionEngine:
                     self._execute_streaming, source, connections, index, unit,
                     is_query, deadline,
                     spans.get(id(unit)) if spans is not None else None,
+                    heat,
                 )
                 for index, unit in enumerate(group)
             ]
@@ -782,6 +825,7 @@ class ExecutionEngine:
         is_query: bool = True,
         deadline: float | None = None,
         span: "Span | None" = None,
+        heat: Any = None,
     ):
         def attempt() -> Any:
             if connections[index].closed:
@@ -789,6 +833,7 @@ class ExecutionEngine:
                 connections[index] = source.pool.acquire()
             return self._traced(connections[index], unit, span)
 
+        t0 = time.perf_counter() if heat is not None else 0.0
         cursor = self._run_attempts(
             unit.data_source, attempt, is_query=is_query, pinned=None,
             deadline=deadline, span=span,
@@ -798,7 +843,14 @@ class ExecutionEngine:
             # traced statements trade streaming for a row count on the span
             rows = cursor.fetchall()
             span.attributes["rows"] = len(rows)
+            if heat is not None:
+                heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
             return MaterializedResult(cursor.columns, rows)
+        if heat is not None:
+            heat.unit_done(
+                unit, time.perf_counter() - t0, cursor,
+                -1 if is_query else max(cursor.rowcount, 0),
+            )
         return cursor
 
     def _acquire_batch(self, source: DataSource, count: int, timeout: float = 10.0) -> list[Connection]:

@@ -301,6 +301,8 @@ class SQLEngine:
         except Exception as exc:
             if observability is not None:
                 observability.on_statement({}, "", 0, error=True)
+                if observability.workload.enabled and isinstance(sql, str):
+                    observability.workload.record_error(sql)
                 if trace is not None:
                     trace.finish(error=exc)
                     observability.record_trace(trace)
@@ -452,6 +454,15 @@ class SQLEngine:
                     observability.on_statement(
                         stages, "federation", 0, error=False, weight=weight
                     )
+                    workload = observability.workload
+                    if weight and workload.enabled:
+                        row_sink = workload.record_statement(
+                            context=context, route_type="federation", units=(),
+                            stages=stages, weight=weight, update_count=0,
+                            is_query=True,
+                        )
+                        if row_sink is not None and result.merged is not None:
+                            result.merged.rows = _counting(result.merged.rows, row_sink)
                 return result
             if span is not None:
                 span.finish(error=exc)
@@ -556,6 +567,12 @@ class SQLEngine:
         """Shared execute+merge tail of both the slow and plan-hit paths."""
         observability = self.observability
         is_query = isinstance(context.statement, ast.SelectStatement)
+        # Workload analytics piggyback on the same sampling decision as the
+        # stage histograms: unsampled statements (weight 0) pay one branch.
+        workload = observability.workload if observability is not None else None
+        heat = None
+        if workload is not None and weight and workload.enabled:
+            heat = workload.begin_statement(weight)
         t0 = time.perf_counter() if timed else 0.0
         span = (
             trace.start_span("execute", metadata_version=snap.version)
@@ -567,6 +584,7 @@ class SQLEngine:
                 route_type=route_type,
                 trace=trace, parent_span=span,
                 sources=snap.data_sources,
+                heat=heat,
             )
         except Exception as exc:
             if span is not None:
@@ -619,6 +637,15 @@ class SQLEngine:
                 stages, route_type, len(units), error=False,
                 weight=weight,
             )
+        if heat is not None:
+            row_sink = workload.record_statement(
+                context=context, route_type=route_type, units=units,
+                stages=stages, weight=weight,
+                update_count=execution.update_count,
+                is_query=is_query, heat_sample=heat,
+            )
+            if row_sink is not None and result.merged is not None:
+                result.merged.rows = _counting(result.merged.rows, row_sink)
         for feature in snap.features:
             feature.on_result(result, context)
         return result
@@ -639,3 +666,16 @@ def _releasing(rows, execution: ExecutionResult):
         yield from rows
     finally:
         execution.release()
+
+
+def _counting(rows, sink):
+    """Count merged rows as the caller drains them, reporting the total to
+    the workload tracker's row sink when the stream finishes (streaming
+    merges don't know their row count up front)."""
+    produced = 0
+    try:
+        for row in rows:
+            produced += 1
+            yield row
+    finally:
+        sink(produced)

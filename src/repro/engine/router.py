@@ -64,6 +64,33 @@ class RouteResult:
         return list(seen)
 
 
+def shard_key_values(context: StatementContext) -> list[tuple[str, str, Any]]:
+    """(logic table, column, value) triples this statement routed by.
+
+    Feeds the workload tracker's hot-key sketches: only *point* values
+    count (equality / small IN lists / per-row INSERT keys) — ranges and
+    wide IN lists say nothing about individual key popularity.
+    """
+    out: list[tuple[str, str, Any]] = []
+    statement = context.statement
+    if isinstance(statement, ast.InsertStatement):
+        logic = statement.table.name.lower()
+        for row in context.insert_row_conditions:
+            for column, condition in row.items():
+                if condition.values:
+                    out.append((logic, column, condition.values[0]))
+        return out
+    for table, columns in context.conditions.items():
+        if table.startswith("__"):  # marker entries such as "__join__"
+            continue
+        for column, condition in columns.items():
+            values = condition.values
+            if values is not None and 0 < len(values) <= 8:
+                for value in values:
+                    out.append((table, column, value))
+    return out
+
+
 def route(context: StatementContext, rule: ShardingRule) -> RouteResult:
     """Route one statement context against the sharding rule."""
     statement = context.statement

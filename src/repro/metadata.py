@@ -49,6 +49,7 @@ KNOWN_VARIABLES = frozenset(
         "tracing",
         "slow_query_threshold_ms",
         "plan_cache",
+        "workload_analytics",
     }
 )
 

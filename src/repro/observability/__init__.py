@@ -35,6 +35,7 @@ from .metrics import (
 )
 from .slowlog import SlowQueryEntry, SlowQueryLog
 from .trace import Span, Trace, Tracer
+from .workload import WorkloadIntelligence
 
 if TYPE_CHECKING:
     from ..storage.pool import ConnectionPool
@@ -55,7 +56,11 @@ class Observability:
         self.tracer = tracer if tracer is not None else Tracer()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
+        #: workload intelligence (statement digests, shard heat, hot keys,
+        #: SLOs) — records on sampled statements only, exported by pull
+        self.workload = WorkloadIntelligence()
         reg = self.registry
+        reg.register_collector(self.workload.families, key=self.workload)
         # Pre-created hot-path instruments (one lock round-trip per statement
         # via the *_locked variants in on_statement).
         self._stage_hist = reg.histogram(
@@ -161,7 +166,11 @@ class Observability:
 
     def record_trace(self, trace: Trace) -> None:
         self.tracer.record(trace)
-        self.slow_log.offer(trace)
+        digest = ""
+        workload = self.workload
+        if workload.enabled:
+            digest = workload.note_trace(trace)
+        self.slow_log.offer(trace, digest=digest)
 
     # -- wiring --------------------------------------------------------------
 
@@ -251,6 +260,7 @@ class Observability:
 
 __all__ = [
     "Observability",
+    "WorkloadIntelligence",
     "Tracer",
     "Trace",
     "Span",

@@ -286,10 +286,15 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label escaping: ``\\``, ``"``, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items())
     return "{" + inner + "}"
 
 

@@ -32,6 +32,7 @@ class SlowQueryEntry:
     spans: int
     error: str | None
     trace: Any  # the full Trace, for drill-down
+    digest: str = ""  # statement digest id ("" when analytics disabled)
 
 
 class SlowQueryLog:
@@ -50,7 +51,7 @@ class SlowQueryLog:
         self._seen_fast = 0
         self.recorded = 0
 
-    def offer(self, trace: "Trace") -> bool:
+    def offer(self, trace: "Trace", digest: str = "") -> bool:
         """Consider one finished trace; True when it was recorded."""
         slow = trace.wall >= self.threshold
         if not slow:
@@ -70,6 +71,7 @@ class SlowQueryLog:
             spans=len(trace.spans),
             error=trace.error,
             trace=trace,
+            digest=digest,
         )
         with self._lock:
             self._entries.append(entry)

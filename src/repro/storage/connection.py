@@ -177,6 +177,8 @@ class Connection:
                         if span is not None:
                             span.record_lock_wait(time.perf_counter() - lock_t0)
                         result, plan_status = execute_planned(self.database, stmt, params, txn)
+                        # workload analytics read this off cursor._result
+                        result.plan = plan_status
                         if span is not None:
                             span.attributes["storage_plan"] = plan_status
                 except Exception:
@@ -210,6 +212,7 @@ class Connection:
             return result
 
         result, plan_status = execute_planned(self.database, stmt, params, self._transaction)
+        result.plan = plan_status
         if span is not None:
             span.attributes["storage_plan"] = plan_status
         if result.cost > 0:
