@@ -212,6 +212,37 @@ class ShardingConnection:
             held_connections=held,
             hint_values=self.hint_values or None,
         )
+        return self._wrap(engine_result)
+
+    def execute_pipeline(
+        self, statements: Sequence[tuple[str, Sequence[Any]]]
+    ) -> list[ShardingResult]:
+        """Fused statement pipelining: ship a batch of plain SQL statements
+        through the engine in one go.
+
+        Consecutive statements routing to one shard travel as a single
+        connection checkout and storage round trip (write-I/O coalesced
+        per written table — the group-commit analog); semantics stay
+        serial-equivalent. Inside an open transaction the batch reuses the
+        transaction's pinned connections. Only plain SQL is accepted —
+        DistSQL, transaction control and session statements must go
+        through :meth:`execute`.
+        """
+        self._check_open()
+        for sql, _params in statements:
+            head = sql.lstrip()[:12].upper()
+            verb = head.split(None, 1)[0] if head else ""
+            if verb in self._CONTROL_VERBS or is_distsql(sql):
+                raise UnsupportedSQLError(
+                    "execute_pipeline only accepts plain SQL statements; "
+                    f"route {verb or sql!r} through execute()"
+                )
+        held = _PinnedConnections(self._transaction) if self.in_transaction else None
+        engine_results = self.runtime.engine.execute_pipeline(
+            list(statements), held_connections=held)
+        return [self._wrap(engine_result) for engine_result in engine_results]
+
+    def _wrap(self, engine_result: EngineResult) -> ShardingResult:
         if engine_result.is_query:
             merged = engine_result.merged
             assert merged is not None

@@ -64,6 +64,17 @@ class _RawSession:
             return cursor.fetchall()
         return cursor.rowcount
 
+    def execute_pipeline(self, statements: Sequence[tuple[str, Sequence[Any]]]):
+        """Batch of statements in one storage round trip (write-I/O
+        coalesced per written table); per-statement rows/rowcount out."""
+        if self.overhead:
+            time.sleep(self.overhead)
+        results = self.connection.execute_pipeline(statements)
+        return [
+            list(r.rows) if r.columns else r.rowcount
+            for r in results
+        ]
+
     def begin(self) -> None:
         self.connection.begin()
 
@@ -91,6 +102,17 @@ class _JdbcSession:
         if result.description is not None:
             return result.fetchall()
         return result.rowcount
+
+    def execute_pipeline(self, statements: Sequence[tuple[str, Sequence[Any]]]):
+        """Batch of statements through the engine's fused pipeline;
+        per-statement rows/rowcount out (see SQLEngine.execute_pipeline)."""
+        if self.overhead:
+            time.sleep(self.overhead)
+        results = self.connection.execute_pipeline(statements)
+        return [
+            r.fetchall() if r.description is not None else r.rowcount
+            for r in results
+        ]
 
     def begin(self) -> None:
         self.connection.begin()

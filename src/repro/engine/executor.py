@@ -39,6 +39,7 @@ import math
 import random
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
@@ -100,6 +101,13 @@ class ExecutionMetrics:
     degraded_statements: int = 0
     skipped_units: int = 0
     breaker_rejections: int = 0
+    # work-stealing fan-out counters
+    queued_tasks: int = 0
+    steals: int = 0
+    stolen_tasks: int = 0
+    # statement-pipeline counters
+    pipeline_batches: int = 0
+    pipelined_statements: int = 0
     #: per data source breakdown: {source: {"retries"|"failures"|...: n}}
     per_source: dict[str, dict[str, int]] = field(default_factory=dict)
 
@@ -120,6 +128,11 @@ class ExecutionMetrics:
             "degraded_statements": self.degraded_statements,
             "skipped_units": self.skipped_units,
             "breaker_rejections": self.breaker_rejections,
+            "queued_tasks": self.queued_tasks,
+            "steals": self.steals,
+            "stolen_tasks": self.stolen_tasks,
+            "pipeline_batches": self.pipeline_batches,
+            "pipelined_statements": self.pipelined_statements,
         }
 
     def families(self) -> list[tuple[str, str, str, list[tuple[dict[str, str], float]]]]:
@@ -178,6 +191,10 @@ class ExecutionEngine:
         self.listeners: list[EventListener] = []
         self._pool = ThreadPoolExecutor(max_workers=worker_threads, thread_name_prefix="ss-exec")
         self._closed = False
+        self._close_lock = threading.Lock()
+        #: cap on workers participating in one statement's work-stealing
+        #: fan-out (worker 0 is always the calling thread)
+        self.fanout_workers = 8
         self.resilience: ResiliencePolicy | None = None
         self.breakers: BreakerRegistry | None = None
         self.health_check = health_check
@@ -199,13 +216,24 @@ class ExecutionEngine:
         self.health_check = health_check
 
     def close(self) -> None:
-        if not self._closed:
+        """Idempotent shutdown, safe while work is in flight.
+
+        Repeat calls are no-ops. Statements whose work-stealing scheduler
+        is mid-flight drain their deques: tasks not yet started fail with
+        a clear "engine is closed" error instead of hanging, and new
+        submissions are rejected at the door.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
             self._closed = True
-            self._pool.shutdown(wait=False)
+        self._pool.shutdown(wait=False)
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> "Future[Any]":
         """Run work on the engine's shared worker pool (e.g. federation
         materialization fan-out)."""
+        if self._closed:
+            raise ExecutionError("execution engine is closed; rejecting new work")
         return self._pool.submit(fn, *args, **kwargs)
 
     def add_listener(self, listener: EventListener) -> None:
@@ -249,6 +277,8 @@ class ExecutionEngine:
         ``heat.unit_done`` for shard-heat accounting. None (the unsampled
         majority) costs one comparison per unit.
         """
+        if self._closed:
+            raise ExecutionError("execution engine is closed; rejecting new work")
         deadline = self._statement_deadline()
         result = ExecutionResult()
         units = list(units)
@@ -327,7 +357,7 @@ class ExecutionEngine:
                 if conn is None or conn.closed:
                     if conn is not None:
                         source.pool.release(conn)
-                    holder[0] = conn = source.pool.acquire()
+                    holder[0] = conn = self._pool_acquire(source, deadline)
                 return self._traced(conn, unit, span)
 
             t0 = time.perf_counter() if heat is not None else 0.0
@@ -375,51 +405,109 @@ class ExecutionEngine:
         for unit in units:
             groups.setdefault(unit.data_source, []).append(unit)
 
-        futures: list[tuple[str, Future]] = []
-        for ds_name, group in groups.items():
-            source = self._source(ds_name, sources_map)
+        # -- work-stealing fan-out -----------------------------------------
+        # Units become fine-grained tasks seeded by data-source group
+        # (group g -> worker g mod W): each worker starts out owning one
+        # source's units (connection affinity), and an idle worker steals
+        # the back half of the deepest deque. A skewed route — one shard
+        # holding most of the units — no longer pins the whole statement
+        # on one submission chain while other workers idle.
+        state_lock = threading.Lock()
+        slots: dict[int, Any] = {}  # id(unit) -> ShardResult | update count
+        pinned_out: dict[str, tuple[list[ShardResult], int]] = {}
+        source_errors: dict[str, BaseException] = {}
+        mem_groups: list[tuple[str, Callable[[], None]]] = []
+
+        def fail_source(ds_name: str, exc: BaseException) -> None:
+            with state_lock:
+                source_errors.setdefault(ds_name, exc)
+
+        tasks: list[tuple[int, Callable[..., None]]] = []  # (seed worker, fn)
+        for group_index, (ds_name, group) in enumerate(groups.items()):
             pinned = (held_connections or {}).get(ds_name)
             if pinned is not None:
-                futures.append(
-                    (ds_name,
-                     self._pool.submit(self._run_pinned, pinned, group, is_query, deadline, spans, heat))
-                )
                 result.modes[ds_name] = ConnectionMode.CONNECTION_STRICTLY
                 self._annotate_mode(spans, group, ConnectionMode.CONNECTION_STRICTLY)
+                tasks.append((group_index, self._make_pinned_task(
+                    ds_name, pinned, group, is_query, deadline, spans, heat,
+                    pinned_out, fail_source, state_lock)))
                 continue
+            source = self._source(ds_name, sources_map)
             mode = self._decide_mode(len(group))
             result.modes[ds_name] = mode
             self._annotate_mode(spans, group, mode)
             self._emit("mode", data_source=ds_name, mode=mode.value, sqls=len(group))
             if mode is ConnectionMode.CONNECTION_STRICTLY:
                 self.metrics.connection_strictly += 1
-                futures.append(
-                    (ds_name,
-                     self._pool.submit(self._run_connection_strictly, source, group, is_query, deadline, spans, heat))
-                )
+                shared: deque[ExecutionUnit] = deque(group)
+                for _ in range(min(self.max_connections_per_query, len(group))):
+                    tasks.append((group_index, self._make_bucket_task(
+                        ds_name, source, shared, is_query, deadline, spans,
+                        heat, slots, source_errors, fail_source, state_lock)))
             else:
                 self.metrics.memory_strictly += 1
-                futures.append(
-                    (ds_name,
-                     self._pool.submit(self._run_memory_strictly, source, group, is_query, result, deadline, spans, heat))
-                )
+                # acquire the whole batch on the calling thread so the
+                # deadlock-avoidance lock ordering is untouched by stealing
+                try:
+                    connections = self._acquire_batch(
+                        source, len(group), deadline=deadline)
+                except BaseException as exc:
+                    fail_source(ds_name, exc)
+                    continue
+                released = threading.Event()
+
+                def release_all(source: DataSource = source,
+                                connections: list[Connection] = connections,
+                                released: threading.Event = released) -> None:
+                    if not released.is_set():
+                        released.set()
+                        source.pool.release_many(connections)
+
+                mem_groups.append((ds_name, release_all))
+                for index, unit in enumerate(group):
+                    tasks.append((group_index, self._make_streaming_task(
+                        ds_name, source, connections, index, unit, is_query,
+                        deadline, spans, heat, slots, fail_source, state_lock)))
+
+        scheduler = _StealScheduler(self, tasks)
+        scheduler.run()
+        if parent_span is not None and scheduler.steals:
+            parent_span.attributes["steals"] = scheduler.steals
+            parent_span.attributes["stolen_tasks"] = scheduler.stolen_tasks
+
+        # resolve memory-strictly connection lifetimes now that every task
+        # has finished: streams outlive the statement, errors release now
+        for ds_name, release_all in mem_groups:
+            if ds_name in source_errors or not is_query:
+                release_all()
+            else:
+                result.finalizers.append(release_all)
 
         errors: list[BaseException] = []
         soft_failures: list[tuple[str, BaseException]] = []
         succeeded = 0
-        for ds_name, future in futures:
-            try:
-                shard_results, update_count = future.result()
-                result.results.extend(shard_results)
-                result.update_count += update_count
-                succeeded += 1
-            except BaseException as exc:  # propagate after draining all futures
+        for ds_name, group in groups.items():
+            exc = source_errors.get(ds_name)
+            if exc is not None:
                 if allow_partial and isinstance(
                     exc, (DataSourceUnavailableError, CircuitBreakerOpenError)
                 ):
                     soft_failures.append((ds_name, exc))
                 else:
                     errors.append(exc)
+                continue
+            succeeded += 1
+            if ds_name in pinned_out:
+                shard_results, update_count = pinned_out[ds_name]
+                result.results.extend(shard_results)
+                result.update_count += update_count
+            else:
+                for unit in group:
+                    out = slots[id(unit)]
+                    if is_query:
+                        result.results.append(out)
+                    else:
+                        result.update_count += out
         if errors or (soft_failures and not succeeded):
             result.release()
             raise (errors or [exc for _, exc in soft_failures])[0]
@@ -700,121 +788,156 @@ class ExecutionEngine:
                     )
         return results, update_count
 
-    def _run_connection_strictly(
+    _CLOSED_IN_FLIGHT = "execution engine closed while statement was in flight"
+
+    def _make_pinned_task(
         self,
-        source: DataSource,
+        ds_name: str,
+        connection: Connection,
         group: list[ExecutionUnit],
         is_query: bool,
-        deadline: float | None = None,
-        spans: "dict[int, Span] | None" = None,
-        heat: Any = None,
-    ) -> tuple[list[ShardResult], int]:
-        """θ > 1: few connections, several SQLs each, memory-loaded results.
+        deadline: float | None,
+        spans: "dict[int, Span] | None",
+        heat: Any,
+        pinned_out: dict[str, tuple[list[ShardResult], int]],
+        fail_source: Callable[[str, BaseException], None],
+        state_lock: threading.Lock,
+    ) -> Callable[..., None]:
+        """One task per pinned (transactional) group: units stay serial on
+        the held connection, whichever worker picks the task up."""
 
-        No acquisition lock: connections are released as soon as results
-        are loaded, so two queries cannot deadlock on this path.
-        """
-        connection_count = min(self.max_connections_per_query, len(group))
-        buckets: list[list[ExecutionUnit]] = [[] for _ in range(connection_count)]
-        for i, unit in enumerate(group):
-            buckets[i % connection_count].append(unit)
-
-        def run_bucket(bucket: list[ExecutionUnit]) -> tuple[list[ShardResult], int]:
-            holder: list[Connection] = [source.pool.acquire()]
-            results: list[ShardResult] = []
-            update_count = 0
+        def task(cancelled: bool = False) -> None:
+            if cancelled:
+                fail_source(ds_name, ExecutionError(self._CLOSED_IN_FLIGHT))
+                return
             try:
-                for unit in bucket:
+                out = self._run_pinned(
+                    connection, group, is_query, deadline, spans, heat)
+                with state_lock:
+                    pinned_out[ds_name] = out
+            except BaseException as exc:
+                fail_source(ds_name, exc)
+
+        return task
+
+    def _make_bucket_task(
+        self,
+        ds_name: str,
+        source: DataSource,
+        shared: "deque[ExecutionUnit]",
+        is_query: bool,
+        deadline: float | None,
+        spans: "dict[int, Span] | None",
+        heat: Any,
+        slots: dict[int, Any],
+        source_errors: dict[str, BaseException],
+        fail_source: Callable[[str, BaseException], None],
+        state_lock: threading.Lock,
+    ) -> Callable[..., None]:
+        """θ > 1 (connection-strictly): one connection, several SQLs,
+        memory-loaded results.
+
+        Each bucket task pulls units off the source's *shared* deque until
+        it runs dry, so a slow unit no longer strands its statically
+        assigned bucket-mates — siblings (or thieves) drain them. No
+        acquisition lock: connections are released as soon as results are
+        loaded, so two queries cannot deadlock on this path.
+        """
+
+        def task(cancelled: bool = False) -> None:
+            if cancelled:
+                fail_source(ds_name, ExecutionError(self._CLOSED_IN_FLIGHT))
+                return
+            holder: list[Connection] | None = None
+            try:
+                while True:
+                    with state_lock:
+                        if ds_name in source_errors:
+                            return
+                    try:
+                        unit = shared.popleft()
+                    except IndexError:
+                        return
+                    if holder is None:
+                        # lazy acquire: a bucket whose units were all taken
+                        # by faster siblings never checks out a connection
+                        holder = [self._pool_acquire(source, deadline)]
                     span = spans.get(id(unit)) if spans is not None else None
 
-                    def attempt(unit: ExecutionUnit = unit, span=span) -> Any:
+                    def attempt(unit: ExecutionUnit = unit, span=span,
+                                holder: list[Connection] = holder) -> Any:
                         if holder[0].closed:
                             source.pool.release(holder[0])
-                            holder[0] = source.pool.acquire()
+                            holder[0] = self._pool_acquire(source, deadline)
                         return self._traced(holder[0], unit, span)
 
                     t0 = time.perf_counter() if heat is not None else 0.0
                     cursor = self._run_attempts(
-                        unit.data_source, attempt,
-                        is_query=is_query, pinned=None, deadline=deadline, span=span,
+                        ds_name, attempt,
+                        is_query=is_query, pinned=None, deadline=deadline,
+                        span=span,
                     )
-                    self._emit("execute", data_source=unit.data_source, unit=unit)
+                    self._emit("execute", data_source=ds_name, unit=unit)
                     if is_query:
                         rows = cursor.fetchall()
                         if span is not None:
                             span.attributes["rows"] = len(rows)
                         if heat is not None:
-                            heat.unit_done(unit, time.perf_counter() - t0, cursor, len(rows))
-                        results.append(MaterializedResult(cursor.columns, rows))
+                            heat.unit_done(
+                                unit, time.perf_counter() - t0, cursor, len(rows))
+                        with state_lock:
+                            slots[id(unit)] = MaterializedResult(cursor.columns, rows)
                     else:
-                        update_count += max(cursor.rowcount, 0)
+                        count = max(cursor.rowcount, 0)
                         if span is not None:
-                            span.attributes["rows"] = max(cursor.rowcount, 0)
+                            span.attributes["rows"] = count
                         if heat is not None:
                             heat.unit_done(
-                                unit, time.perf_counter() - t0, cursor,
-                                max(cursor.rowcount, 0),
-                            )
+                                unit, time.perf_counter() - t0, cursor, count)
+                        with state_lock:
+                            slots[id(unit)] = count
+            except BaseException as exc:
+                fail_source(ds_name, exc)
             finally:
-                source.pool.release(holder[0])
-            return results, update_count
+                if holder is not None:
+                    source.pool.release(holder[0])
 
-        if connection_count == 1:
-            return run_bucket(buckets[0])
-        futures = [self._pool.submit(run_bucket, bucket) for bucket in buckets]
-        results: list[ShardResult] = []
-        update_count = 0
-        for future in futures:
-            shard_results, count = future.result()
-            results.extend(shard_results)
-            update_count += count
-        return results, update_count
+        return task
 
-    def _run_memory_strictly(
+    def _make_streaming_task(
         self,
+        ds_name: str,
         source: DataSource,
-        group: list[ExecutionUnit],
+        connections: list[Connection],
+        index: int,
+        unit: ExecutionUnit,
         is_query: bool,
-        result: ExecutionResult,
-        deadline: float | None = None,
-        spans: "dict[int, Span] | None" = None,
-        heat: Any = None,
-    ) -> tuple[list[ShardResult], int]:
-        """θ = 1: one connection per SQL, streaming cursors (stream merger)."""
-        connections = self._acquire_batch(source, len(group))
-        released = threading.Event()
+        deadline: float | None,
+        spans: "dict[int, Span] | None",
+        heat: Any,
+        slots: dict[int, Any],
+        fail_source: Callable[[str, BaseException], None],
+        state_lock: threading.Lock,
+    ) -> Callable[..., None]:
+        """θ = 1 (memory-strictly): one pre-acquired connection per SQL,
+        streaming cursor (stream merger); one task per unit."""
 
-        def release_all() -> None:
-            if not released.is_set():
-                released.set()
-                source.pool.release_many(connections)
+        def task(cancelled: bool = False) -> None:
+            if cancelled:
+                fail_source(ds_name, ExecutionError(self._CLOSED_IN_FLIGHT))
+                return
+            span = spans.get(id(unit)) if spans is not None else None
+            try:
+                cursor = self._execute_streaming(
+                    source, connections, index, unit, is_query, deadline,
+                    span, heat)
+                with state_lock:
+                    slots[id(unit)] = (
+                        cursor if is_query else max(cursor.rowcount, 0))
+            except BaseException as exc:
+                fail_source(ds_name, exc)
 
-        try:
-            futures = [
-                self._pool.submit(
-                    self._execute_streaming, source, connections, index, unit,
-                    is_query, deadline,
-                    spans.get(id(unit)) if spans is not None else None,
-                    heat,
-                )
-                for index, unit in enumerate(group)
-            ]
-            shard_results: list[ShardResult] = []
-            update_count = 0
-            for future in futures:
-                cursor = future.result()
-                if is_query:
-                    shard_results.append(cursor)
-                else:
-                    update_count += max(cursor.rowcount, 0)
-        except BaseException:
-            release_all()
-            raise
-        if is_query:
-            result.finalizers.append(release_all)
-        else:
-            release_all()
-        return shard_results, update_count
+        return task
 
     def _execute_streaming(
         self,
@@ -830,7 +953,7 @@ class ExecutionEngine:
         def attempt() -> Any:
             if connections[index].closed:
                 source.pool.release(connections[index])
-                connections[index] = source.pool.acquire()
+                connections[index] = self._pool_acquire(source, deadline)
             return self._traced(connections[index], unit, span)
 
         t0 = time.perf_counter() if heat is not None else 0.0
@@ -853,22 +976,233 @@ class ExecutionEngine:
             )
         return cursor
 
-    def _acquire_batch(self, source: DataSource, count: int, timeout: float = 10.0) -> list[Connection]:
+    def _pool_acquire(
+        self,
+        source: DataSource,
+        deadline: float | None,
+        timeout: float = 10.0,
+    ) -> Connection:
+        """Acquire one connection, waiting no longer than the statement's
+        remaining deadline budget; out-of-time waits report
+        :class:`DeadlineExceededError` instead of pool exhaustion."""
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - time.monotonic()))
+        try:
+            return source.pool.acquire(timeout=timeout)
+        except Exception:
+            self._check_deadline(deadline, source.name)
+            raise
+
+    def _acquire_batch(
+        self,
+        source: DataSource,
+        count: int,
+        timeout: float = 10.0,
+        deadline: float | None = None,
+    ) -> list[Connection]:
         """Atomically acquire ``count`` connections (deadlock avoidance).
 
         A single connection skips the lock entirely (two queries cannot
-        wait on each other over one connection each).
+        wait on each other over one connection each). When the resilience
+        policy set a statement ``deadline``, the wait is capped by the
+        remaining budget instead of always blocking the full default —
+        a statement out of time reports :class:`DeadlineExceededError`
+        promptly rather than sitting on an exhausted pool for 10 s.
         """
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - time.monotonic()))
         if count == 1:
-            return [source.pool.acquire(timeout=timeout)]
-        deadline = time.monotonic() + timeout
+            try:
+                return [source.pool.acquire(timeout=timeout)]
+            except Exception:
+                self._check_deadline(deadline, source.name)
+                raise
+        acquire_by = time.monotonic() + timeout
         while True:
             with source.acquisition_lock:
                 batch = source.pool.try_acquire_many(count)
             if batch is not None:
                 return batch
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= acquire_by:
+                self._check_deadline(deadline, source.name)
                 raise ExecutionError(
                     f"could not atomically acquire {count} connections from {source.name!r}"
                 )
             time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # Statement pipelining
+    # ------------------------------------------------------------------
+
+    def execute_pipeline(
+        self,
+        ds_name: str,
+        statements: Sequence[tuple[Any, Sequence[Any], bool]],
+        held_connections: Mapping[str, Connection] | None = None,
+        sources: Mapping[str, DataSource] | None = None,
+        trace: "Trace | None" = None,
+        parent_span: "Span | None" = None,
+    ) -> list[Any]:
+        """Fused transaction pipelining: run consecutive single-source
+        statements through one connection checkout and one storage round
+        trip (:meth:`Connection.execute_pipeline` coalesces the write-I/O
+        slice per written table — the group-commit analog).
+
+        ``statements`` holds ``(statement, params, is_query)`` triples.
+        Semantics are serial-equivalent: statements run in order on one
+        connection, and a mid-batch error propagates after earlier
+        statements' effects (and costs) have landed — exactly what the
+        serial loop would leave behind, so an enclosing transaction's undo
+        log still covers them. No retry loop applies (the batch typically
+        carries writes inside an open transaction, which the resilience
+        policy never retries); the circuit breaker still gates admission
+        and records one outcome for the whole batch.
+
+        Returns one entry per statement: a :class:`MaterializedResult`
+        for queries, an int update count for writes.
+        """
+        if self._closed:
+            raise ExecutionError("execution engine is closed; rejecting new work")
+        deadline = self._statement_deadline()
+        self._check_deadline(deadline, ds_name)
+        self._breaker_admit(ds_name)
+        if self.health_check is not None and not self._source_up(ds_name):
+            raise DataSourceUnavailableError(
+                f"data source {ds_name!r} is DOWN; refusing pipelined batch (fail fast)"
+            )
+        source = self._source(ds_name, sources)
+        pinned = (held_connections or {}).get(ds_name)
+        connection = pinned if pinned is not None else self._pool_acquire(source, deadline)
+        span: "Span | None" = None
+        if trace is not None:
+            span = trace.start_span(
+                "storage_pipeline", parent=parent_span,
+                data_source=ds_name, statements=len(statements),
+            )
+            connection.trace_span = span
+        out: list[Any] = []
+        try:
+            raw = connection.execute_pipeline(
+                [(stmt, params) for stmt, params, _ in statements])
+            for (_stmt, _params, is_query), res in zip(statements, raw):
+                if is_query:
+                    out.append(MaterializedResult(list(res.columns), list(res.rows)))
+                else:
+                    out.append(max(res.rowcount, 0))
+        except BaseException as exc:
+            self._record_outcome(ds_name, ok=False)
+            if span is not None:
+                span.finish(error=exc)
+            raise
+        finally:
+            if span is not None:
+                del connection.trace_span
+            if pinned is None:
+                source.pool.release(connection)
+        self._record_outcome(ds_name, ok=True)
+        if span is not None:
+            span.finish()
+        self.metrics.statements += len(statements)
+        self.metrics.pipeline_batches += 1
+        self.metrics.pipelined_statements += len(statements)
+        self._emit("pipeline", data_source=ds_name, statements=len(statements))
+        return out
+
+
+class _StealScheduler:
+    """Work-stealing batch scheduler for one multi-unit statement.
+
+    Tasks are seeded by data-source group (group *g* lands on worker
+    *g mod W*), so each worker starts out owning one source's units —
+    connection affinity — while an idle worker steals the back half of
+    the deepest deque. The calling thread always participates as worker
+    0: even with the shared pool saturated by concurrent statements the
+    batch makes progress on its own thread (helpers are best-effort
+    accelerators), which removes the nested-submit starvation the old
+    per-group future chain was exposed to.
+
+    ``run`` returns once every task has executed — or been drained with
+    ``cancelled=True`` because the engine closed mid-flight.
+    """
+
+    __slots__ = ("engine", "deques", "lock", "remaining", "done",
+                 "steals", "stolen_tasks")
+
+    def __init__(self, engine: ExecutionEngine,
+                 tasks: list[tuple[int, Callable[..., None]]]):
+        workers = max(1, min(len(tasks), engine.fanout_workers))
+        self.engine = engine
+        self.deques: list[deque[Callable[..., None]]] = [
+            deque() for _ in range(workers)
+        ]
+        for seed, fn in tasks:
+            self.deques[seed % workers].append(fn)
+        self.lock = threading.Lock()
+        self.remaining = len(tasks)
+        self.done = threading.Event()
+        self.steals = 0
+        self.stolen_tasks = 0
+        engine.metrics.queued_tasks += len(tasks)
+
+    def run(self) -> None:
+        if not self.remaining:
+            self.done.set()
+            return
+        for index in range(1, len(self.deques)):
+            try:
+                self.engine._pool.submit(self._work, index)
+            except RuntimeError:
+                # pool already shut down: worker 0 drains everything alone
+                break
+        self._work(0)
+        self.done.wait()
+
+    def _work(self, me: int) -> None:
+        my = self.deques[me]
+        while True:
+            if self.engine._closed:
+                self._drain_closed()
+                return
+            task: Callable[..., None] | None = None
+            with self.lock:
+                if my:
+                    task = my.popleft()
+                else:
+                    victim: deque[Callable[..., None]] | None = None
+                    depth = 0
+                    for dq in self.deques:
+                        if dq is not my and len(dq) > depth:
+                            victim, depth = dq, len(dq)
+                    if victim is not None:
+                        half = (depth + 1) // 2
+                        stolen = [victim.pop() for _ in range(half)]
+                        stolen.reverse()  # keep the stolen slice in FIFO order
+                        my.extend(stolen)
+                        self.steals += 1
+                        self.stolen_tasks += half
+                        self.engine.metrics.steals += 1
+                        self.engine.metrics.stolen_tasks += half
+                        task = my.popleft()
+            if task is None:
+                return
+            self._finish(task, cancelled=False)
+
+    def _drain_closed(self) -> None:
+        """Engine closed mid-statement: fail every queued task fast so
+        ``run`` can return with a clear error instead of hanging."""
+        with self.lock:
+            drained: list[Callable[..., None]] = []
+            for dq in self.deques:
+                drained.extend(dq)
+                dq.clear()
+        for fn in drained:
+            self._finish(fn, cancelled=True)
+
+    def _finish(self, fn: Callable[..., None], cancelled: bool) -> None:
+        try:
+            fn(cancelled=cancelled)
+        finally:
+            with self.lock:
+                self.remaining -= 1
+                if self.remaining == 0:
+                    self.done.set()

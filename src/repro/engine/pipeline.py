@@ -499,6 +499,190 @@ class SQLEngine:
             held_connections, trace, stages, timed, weight, snap,
         )
 
+    # ------------------------------------------------------------------
+    # Statement pipelining
+    # ------------------------------------------------------------------
+
+    def execute_pipeline(
+        self,
+        statements: Sequence[tuple[str | ast.Statement, Sequence[Any]]],
+        held_connections: Mapping[str, Connection] | None = None,
+    ) -> list[EngineResult]:
+        """Fused transaction pipelining across the five-stage engine.
+
+        Every statement is prepared up front (plan-cache hot path when
+        possible); runs of *consecutive* statements that each route to a
+        single unit on the same data source are shipped through one
+        connection checkout and one storage round trip
+        (:meth:`ExecutionEngine.execute_pipeline`), which coalesces their
+        write-I/O per written table — the transaction-pipelining analog
+        of group commit. Statements that fan out to several shards (or
+        need the federation fallback) flush the pending group and run
+        through the normal execute path, preserving statement order.
+
+        Returns one :class:`EngineResult` per statement, in order.
+        Semantics are serial-equivalent; on a mid-batch error the
+        exception propagates with earlier statements' effects in place
+        (an enclosing distributed transaction's undo still covers them).
+        Pipelined statements skip per-statement tracing and workload heat
+        sampling — the batch is the unit of observability — and their
+        ``execute`` stage is recorded as the batch time amortized over
+        the batch.
+        """
+        observability = self.observability
+        snap = self.metadata.current()
+        results: list[EngineResult | None] = [None] * len(statements)
+        #: buffered (index, context, route_type, unit, merge_spec, is_query)
+        pending: list[tuple[int, StatementContext, str, ExecutionUnit,
+                            MergeSpec | None, bool]] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            ds_name = pending[0][3].data_source
+            t0 = time.perf_counter()
+            try:
+                outs = self.executor.execute_pipeline(
+                    ds_name,
+                    [(p[3].statement, p[3].params, p[5]) for p in pending],
+                    held_connections,
+                    sources=snap.data_sources,
+                )
+            except Exception as exc:
+                for p in pending:
+                    for feature in snap.features:
+                        feature.on_error(exc, p[1])
+                pending.clear()
+                raise
+            per_statement = (time.perf_counter() - t0) / len(pending)
+            for (index, context, route_type, unit, merge_spec, is_query), out \
+                    in zip(pending, outs):
+                result = EngineResult(
+                    generated_keys=context.generated_keys,
+                    route_type=route_type,
+                    unit_count=1,
+                    modes={ds_name: ConnectionMode.CONNECTION_STRICTLY},
+                    units=[unit],
+                )
+                if is_query:
+                    spec = merge_spec or MergeSpec(is_query=True, single_node=True)
+                    merged = merge(spec, [out])
+                    result.merged = MergedResult(
+                        columns=merged.columns,
+                        rows=merged.rows,
+                        merger_kind=merged.merger_kind,
+                    )
+                    result.merger_kind = merged.merger_kind
+                else:
+                    result.update_count = out
+                    result.merger_kind = "update"
+                if observability is not None:
+                    weight = observability.stage_weight()
+                    observability.on_statement(
+                        {"execute": per_statement} if weight else {},
+                        route_type, 1, error=False, weight=weight,
+                    )
+                for feature in snap.features:
+                    feature.on_result(result, context)
+                results[index] = result
+            pending.clear()
+
+        for index, (sql, params) in enumerate(statements):
+            try:
+                context, route_type, units, merge_spec = self._prepare_units(
+                    sql, params, snap)
+            except RouteError:
+                # e.g. a cross-shard join needing federation: run the
+                # statement through the full path (which owns the fallback)
+                flush()
+                results[index] = self.execute(sql, params, held_connections)
+                continue
+            is_query = isinstance(context.statement, ast.SelectStatement)
+            if len(units) != 1:
+                flush()
+                results[index] = self._run_units(
+                    context, route_type, units, merge_spec,
+                    held_connections, None, {}, False, 0, snap,
+                )
+                continue
+            unit = units[0]
+            if pending and pending[0][3].data_source != unit.data_source:
+                flush()
+            pending.append((index, context, route_type, unit, merge_spec, is_query))
+        flush()
+        return results  # type: ignore[return-value]
+
+    def _prepare_units(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any],
+        snap: MetadataContext,
+    ) -> tuple[StatementContext, str, list[ExecutionUnit], MergeSpec | None]:
+        """Front half of the pipeline (parse→route→rewrite) without
+        executing: shared by statement pipelining, which needs to see all
+        routed units *before* deciding how to batch them.
+
+        Takes the plan-cache hot path when possible (counters included);
+        raises :class:`RouteError` for statements the router cannot place
+        (the caller owns the federation fallback).
+        """
+        plan_cache = self.plan_cache
+        use_plans = (
+            plan_cache.enabled and snap.plan_cache_safe and isinstance(sql, str)
+        )
+        compile_after_parse = False
+        if use_plans:
+            plan = plan_cache.get(sql, snap.plan_epoch)  # type: ignore[arg-type]
+            if plan is None:
+                plan_cache.misses += 1
+                compile_after_parse = True
+            elif not plan.cacheable or len(params) < plan.param_count:
+                plan_cache.bypasses += 1
+            else:
+                plan_cache.hits += 1
+                plan.hits += 1
+                bound = tuple(params)
+                conditions = plan.bind_conditions(bound)
+                context = plan.make_context(bound, conditions)
+                for feature in snap.features:
+                    feature.on_context(context)
+                route_result = plan.route_bound(
+                    conditions, snap.rule, lambda: context)
+                for feature in snap.features:
+                    feature.on_route(route_result, context)
+                units, merge_spec = plan.build_units(
+                    route_result, bound, snap.dialect_of)
+                for feature in snap.features:
+                    feature.on_units(units, context)
+                return context, route_result.route_type, units, merge_spec
+
+        if isinstance(sql, str):
+            statement = self._parse_cached(sql)
+            sql_text = sql
+        else:
+            statement = sql
+            try:
+                sql_text = format_statement(statement)
+            except Exception:
+                sql_text = type(statement).__name__
+        if statement.category == "DDL":
+            plan_cache.invalidate("DDL")
+        if compile_after_parse:
+            plan_cache.store(  # type: ignore[arg-type]
+                compile_plan(sql, statement, snap.rule), snap.plan_epoch
+            )
+        context = build_context(statement, sql_text, params, snap.rule, None)
+        for feature in snap.features:
+            feature.on_context(context)
+        route_result = route(context, snap.rule)
+        for feature in snap.features:
+            feature.on_route(route_result, context)
+        rewrite_result = rewrite(context, route_result, snap.dialect_of)
+        units = rewrite_result.execution_units
+        for feature in snap.features:
+            feature.on_units(units, context)
+        return context, route_result.route_type, units, rewrite_result.merge_spec
+
     def _execute_plan(
         self,
         plan: CompiledPlan,

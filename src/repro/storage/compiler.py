@@ -464,3 +464,64 @@ def _compile_case(expr: ast.CaseExpr, ctx: CompileContext) -> Getter:
         return None
 
     return g_case
+
+
+# ---------------------------------------------------------------------------
+# Batched predicate evaluation (vectorized plan pipelines)
+# ---------------------------------------------------------------------------
+
+#: a compiled batch filter: (rows, params) -> surviving rows
+BatchFilter = Callable[[Sequence[Any], Sequence[Any]], list]
+
+
+def _flatten_and(expr: ast.Expression) -> list[ast.Expression]:
+    """Top-level AND conjuncts in left-to-right evaluation order."""
+    out: list[ast.Expression] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    return out
+
+
+def compile_batch_predicate(expr: ast.Expression, ctx: CompileContext) -> BatchFilter:
+    """Compile WHERE semantics over a whole chunk: rows where the
+    predicate is True survive, UNKNOWN/NULL filter out.
+
+    Top-level AND conjuncts are compiled separately and fused into a
+    single comprehension with native short-circuit ``and`` — identical to
+    3VL conjunction under WHERE (True iff every conjunct is True), with
+    the same left-to-right evaluation order as the interpreter.
+    """
+    preds = [compile_predicate(c, ctx) for c in _flatten_and(expr)]
+    if len(preds) == 1:
+        p0 = preds[0]
+        return lambda rows, params: [r for r in rows if p0(r, params)]
+    if len(preds) == 2:
+        p0, p1 = preds
+        return lambda rows, params: [
+            r for r in rows if p0(r, params) and p1(r, params)
+        ]
+    if len(preds) == 3:
+        p0, p1, p2 = preds
+        return lambda rows, params: [
+            r for r in rows if p0(r, params) and p1(r, params) and p2(r, params)
+        ]
+    fused = tuple(preds)
+
+    def batch_filter(rows: Sequence[Any], params: Sequence[Any]) -> list:
+        out = []
+        append = out.append
+        for r in rows:
+            for p in fused:
+                if not p(r, params):
+                    break
+            else:
+                append(r)
+        return out
+
+    return batch_filter

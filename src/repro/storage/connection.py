@@ -22,8 +22,10 @@ from ..exceptions import ConnectionClosedError, ConnectionDropError, Transaction
 from ..sql import ast, parse
 from .executor import QueryResult
 from .latency import pay
-from .plans import execute_planned
+from .plans import execute_planned, execute_planned_many
 from .transaction import Transaction, commit_prepared, rollback_prepared
+
+_TCL_STATEMENTS = (ast.BeginStatement, ast.CommitStatement, ast.RollbackStatement)
 
 if TYPE_CHECKING:
     from .engine import DataSource
@@ -144,7 +146,8 @@ class Connection:
         cursor.execute(sql, params)
         return cursor
 
-    def _run(self, stmt: ast.Statement, params: Sequence[Any]) -> QueryResult:
+    def _run(self, stmt: ast.Statement, params: Sequence[Any],
+             defer_pay: bool = False) -> QueryResult:
         self._check_open()
         if isinstance(stmt, ast.BeginStatement):
             self.begin()
@@ -192,36 +195,180 @@ class Connection:
                     if span is not None:
                         # autocommit fsync happens inside this statement
                         span.record_simulated(self.database.latency.commit_cost())
-            if result.cost > 0:
-                pay_t0 = time.perf_counter() if span is not None else 0.0
-                if result.written_table is not None:
-                    # Write I/O serializes per table (page/WAL contention):
-                    # the hot-table bottleneck the paper's sharding removes.
-                    # Lock order: table io_lock, then a server I/O channel.
-                    with result.written_table.io_lock:
-                        with self.data_source.io_semaphore:
-                            pay(result.cost)
-                else:
-                    with self.data_source.io_semaphore:
-                        pay(result.cost)
-                if span is not None:
-                    span.record_simulated(result.cost)
-                    span.record_lock_wait(
-                        time.perf_counter() - pay_t0 - result.cost
-                    )
+            if not defer_pay:
+                self._pay(result, span)
             return result
 
         result, plan_status = execute_planned(self.database, stmt, params, self._transaction)
         result.plan = plan_status
         if span is not None:
             span.attributes["storage_plan"] = plan_status
-        if result.cost > 0:
-            pay_t0 = time.perf_counter() if span is not None else 0.0
+        if not defer_pay:
+            self._pay(result, span)
+        return result
+
+    def _pay(self, result: QueryResult, span: Any) -> None:
+        """Pay one statement's simulated I/O cost (sleep)."""
+        if result.cost <= 0:
+            return
+        pay_t0 = time.perf_counter() if span is not None else 0.0
+        if result.written_table is not None:
+            # Write I/O serializes per table (page/WAL contention):
+            # the hot-table bottleneck the paper's sharding removes.
+            # Lock order: table io_lock, then a server I/O channel.
+            with result.written_table.io_lock:
+                with self.data_source.io_semaphore:
+                    pay(result.cost)
+        else:
             with self.data_source.io_semaphore:
                 pay(result.cost)
-            if span is not None:
-                span.record_simulated(result.cost)
-                span.record_lock_wait(time.perf_counter() - pay_t0 - result.cost)
+        if span is not None:
+            span.record_simulated(result.cost)
+            span.record_lock_wait(time.perf_counter() - pay_t0 - result.cost)
+
+    # -- statement pipelining ---------------------------------------------------
+
+    def execute_pipeline(
+        self, statements: Sequence[tuple[str | ast.Statement, Sequence[Any]]]
+    ) -> list[QueryResult]:
+        """Execute a batch of statements in order, one storage round trip.
+
+        Per-statement semantics (3VL, errors, rowcounts, transaction
+        undo) are identical to running the same statements serially; what
+        changes is the simulated-I/O payment: the write-I/O slice of each
+        statement's cost is coalesced to **one charge per distinct written
+        table** in the batch (the group-commit / write-combining analog of
+        a real engine flushing one dirty page per table), paid under that
+        table's ``io_lock`` so hot-table serialization is preserved.
+
+        Pending write I/O is flushed before any COMMIT/ROLLBACK in the
+        batch so the write-before-fsync ordering holds. On a mid-batch
+        error, costs accrued so far are paid and the original exception
+        propagates — earlier statements' effects stand, exactly as in
+        serial execution (an enclosing transaction's undo still covers
+        them).
+        """
+        self._check_open()
+        results: list[QueryResult] = []
+        pending: list[QueryResult] = []
+        try:
+            for sql, params in statements:
+                if isinstance(sql, str):
+                    stmt = parse(sql)
+                    stmt.storage_plan_key = sql
+                else:
+                    stmt = sql
+                if isinstance(stmt, _TCL_STATEMENTS) and pending:
+                    self._flush_pipeline_costs(pending)
+                    pending = []
+                result = self._run(stmt, params, defer_pay=True)
+                results.append(result)
+                pending.append(result)
+        finally:
+            self._flush_pipeline_costs(pending)
+        return results
+
+    def _flush_pipeline_costs(self, pending: list[QueryResult]) -> None:
+        """Pay deferred costs: reads summed, writes coalesced per table."""
+        span = self.trace_span
+        read_cost = 0.0
+        per_table: dict[int, list] = {}
+        for result in pending:
+            if result.cost <= 0:
+                continue
+            if result.written_table is None:
+                read_cost += result.cost
+                continue
+            entry = per_table.get(id(result.written_table))
+            if entry is None:
+                per_table[id(result.written_table)] = [
+                    result.written_table, result.cost - result.write_cost,
+                    result.write_cost,
+                ]
+            else:
+                entry[1] += result.cost - result.write_cost
+                entry[2] = max(entry[2], result.write_cost)
+        total = 0.0
+        pay_t0 = time.perf_counter() if span is not None else 0.0
+        for table, non_io, io in per_table.values():
+            amount = non_io + io
+            if amount <= 0:
+                continue
+            with table.io_lock:
+                with self.data_source.io_semaphore:
+                    pay(amount)
+            total += amount
+        if read_cost > 0:
+            with self.data_source.io_semaphore:
+                pay(read_cost)
+            total += read_cost
+        if span is not None and total > 0:
+            span.record_simulated(total)
+            span.record_lock_wait(time.perf_counter() - pay_t0 - total)
+
+    def _run_many(self, stmt: ast.Statement,
+                  seq_of_params: Sequence[Sequence[Any]]) -> QueryResult:
+        """Batched executemany: one lock acquisition, one (implicit)
+        transaction and one coalesced write-I/O charge for all bindings.
+
+        In autocommit mode the batch commits once at the end, making it
+        atomic — a mid-batch error rolls back every binding. Inside an
+        explicit transaction semantics are unchanged (earlier bindings'
+        effects stand until the transaction resolves).
+        """
+        self._check_open()
+        seq = list(seq_of_params)
+        if not seq:
+            return QueryResult(rowcount=0)
+        if stmt.category != "DML":
+            # DDL/TCL/queries: keep per-binding execution (and its
+            # per-binding payment); executemany on these is a rarity.
+            total = 0
+            counted = False
+            result: QueryResult | None = None
+            for params in seq:
+                result = self._run(stmt, params)
+                if result.rowcount >= 0:
+                    counted = True
+                    total += result.rowcount
+            return QueryResult(
+                columns=result.columns, rows=result.rows,
+                rowcount=total if counted else -1, cost=result.cost,
+                written_table=result.written_table,
+            )
+        try:
+            self.database.maybe_fail("statement")
+        except ConnectionDropError:
+            self.close()
+            raise
+        span = self.trace_span
+        with self._lock:
+            implicit = False
+            if self._transaction is None:
+                self._transaction = Transaction(self.database)
+                implicit = True
+            txn = self._transaction
+            try:
+                lock_t0 = time.perf_counter() if span is not None else 0.0
+                with self.database.write_lock():
+                    if span is not None:
+                        span.record_lock_wait(time.perf_counter() - lock_t0)
+                    result, plan_status = execute_planned_many(
+                        self.database, stmt, seq, txn)
+                    result.plan = plan_status
+                    if span is not None:
+                        span.attributes["storage_plan"] = plan_status
+            except Exception:
+                if implicit:
+                    txn.rollback()
+                    self._transaction = None
+                raise
+            if implicit:
+                txn.commit()
+                self._transaction = None
+                if span is not None:
+                    span.record_simulated(self.database.latency.commit_cost())
+        self._pay(result, span)
         return result
 
 
@@ -271,8 +418,10 @@ class Cursor:
     def executemany(self, sql: str | ast.Statement, seq_of_params: Sequence[Sequence[Any]]) -> "Cursor":
         """Execute once per parameter row, parsing/planning only once.
 
-        Reports the cumulative rowcount across all bindings (DB-API
-        semantics); the streamed rows are those of the last execution.
+        DML bindings run as one batched plan invocation: a single lock
+        acquisition, one (implicit) transaction and one coalesced
+        write-I/O charge (see :meth:`Connection._run_many`). Reports the
+        cumulative rowcount across all bindings (DB-API semantics).
         """
         if self._closed:
             raise ConnectionClosedError("cursor is closed")
@@ -281,22 +430,7 @@ class Cursor:
             stmt.storage_plan_key = sql
         else:
             stmt = sql
-        total = 0
-        counted = False
-        result: QueryResult | None = None
-        for params in seq_of_params:
-            result = self.connection._run(stmt, params)
-            if result.rowcount >= 0:
-                counted = True
-                total += result.rowcount
-        if result is None:
-            self._result = QueryResult(rowcount=0)
-        else:
-            self._result = QueryResult(
-                columns=result.columns, rows=result.rows,
-                rowcount=total if counted else -1, cost=result.cost,
-                written_table=result.written_table,
-            )
+        self._result = self.connection._run_many(stmt, seq_of_params)
         self._rows = iter(self._result.rows)
         return self
 

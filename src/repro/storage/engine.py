@@ -103,6 +103,7 @@ class DataSource:
 class _NetworkedConnection(Connection):
     """Connection that pays a network round-trip per statement."""
 
-    def _run(self, stmt: ast.Statement, params: Sequence[Any]):
+    def _run(self, stmt: ast.Statement, params: Sequence[Any],
+             defer_pay: bool = False):
         pay(self.data_source.network_hop)
-        return super()._run(stmt, params)
+        return super()._run(stmt, params, defer_pay)

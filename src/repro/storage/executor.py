@@ -38,6 +38,9 @@ class QueryResult:
     cost: float = 0.0
     #: the table whose write I/O this statement must serialize on (DML only)
     written_table: "Table | None" = None
+    #: the write-I/O slice of ``cost`` — the portion a statement pipeline may
+    #: coalesce into one payment per written table (group-commit analog)
+    write_cost: float = 0.0
 
     def fetch_all(self) -> list[tuple[Any, ...]]:
         return list(self.rows)
@@ -606,8 +609,8 @@ def _execute_insert(
         txn.record_insert(table, row_id)
         inserted += 1
     cost = database.latency.statement_cost(table.row_count, inserted, uses_index=True)
-    cost += database.latency.write_cost(table.row_count)
-    return QueryResult(rowcount=inserted, cost=cost, written_table=table)
+    io = database.latency.write_cost(table.row_count)
+    return QueryResult(rowcount=inserted, cost=cost + io, written_table=table, write_cost=io)
 
 
 def _execute_update(
@@ -632,9 +635,8 @@ def _execute_update(
         updated += 1
     examined = len(row_ids) if used_index else table.row_count
     cost = database.latency.statement_cost(table.row_count, examined + updated, used_index)
-    if updated:
-        cost += database.latency.write_cost(table.row_count)
-    return QueryResult(rowcount=updated, cost=cost, written_table=table)
+    io = database.latency.write_cost(table.row_count) if updated else 0.0
+    return QueryResult(rowcount=updated, cost=cost + io, written_table=table, write_cost=io)
 
 
 def _execute_delete(
@@ -658,6 +660,5 @@ def _execute_delete(
         deleted += 1
     examined = len(row_ids) if used_index else table.row_count
     cost = database.latency.statement_cost(table.row_count, examined + deleted, used_index)
-    if deleted:
-        cost += database.latency.write_cost(table.row_count)
-    return QueryResult(rowcount=deleted, cost=cost, written_table=table)
+    io = database.latency.write_cost(table.row_count) if deleted else 0.0
+    return QueryResult(rowcount=deleted, cost=cost + io, written_table=table, write_cost=io)

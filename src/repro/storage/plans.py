@@ -41,6 +41,7 @@ used-index latency accounting can differ for that rare shape.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from ..cache import LruCache
@@ -48,10 +49,12 @@ from ..exceptions import StorageError
 from ..sql import ast
 from ..sql.formatter import format_expression
 from .compiler import (
+    BatchFilter,
     CannotCompile,
     CompileContext,
     Getter,
     RowLayout,
+    compile_batch_predicate,
     compile_predicate,
     compile_scalar,
 )
@@ -71,26 +74,37 @@ if TYPE_CHECKING:
     from .database import Database
     from .transaction import Transaction
 
-_PLAN_KINDS = (ast.SelectStatement, ast.UpdateStatement, ast.DeleteStatement)
+_PLAN_KINDS = (ast.SelectStatement, ast.UpdateStatement, ast.DeleteStatement,
+               ast.InsertStatement)
 
 
 class StoragePlan:
     """One compiled statement: schema-version-pinned closure pipeline."""
 
-    __slots__ = ("kind", "statement", "versions", "param_count", "runner")
+    __slots__ = ("kind", "statement", "versions", "param_count", "runner",
+                 "runner_many")
 
     def __init__(self, kind: str, statement: ast.Statement,
                  versions: tuple[tuple[str, int], ...], param_count: int,
-                 runner: Callable[[Sequence[Any], "Transaction | None"], QueryResult]):
+                 runner: Callable[[Sequence[Any], "Transaction | None"], QueryResult],
+                 runner_many: Callable[[Sequence[Sequence[Any]], "Transaction | None"],
+                                       QueryResult] | None = None):
         self.kind = kind
         self.statement = statement
         self.versions = versions
         self.param_count = param_count
         self.runner = runner
+        #: batched executemany entry (compiled INSERTs): all bindings in
+        #: one plan invocation, one write-I/O charge for the whole batch
+        self.runner_many = runner_many
 
     def execute(self, params: Sequence[Any],
                 transaction: "Transaction | None" = None) -> QueryResult:
         return self.runner(params, transaction)
+
+    def execute_many(self, seq_of_params: Sequence[Sequence[Any]],
+                     transaction: "Transaction | None" = None) -> QueryResult:
+        return self.runner_many(seq_of_params, transaction)
 
 
 class _Negative:
@@ -193,8 +207,14 @@ def execute_planned(
     if not cache.enabled:
         return execute_statement(database, stmt, params, transaction), "off"
     if not isinstance(stmt, _PLAN_KINDS):
-        # INSERT / DDL / TCL: no compiled form; skip all cache traffic so
+        # DDL / TCL: no compiled form; skip all cache traffic so
         # write-heavy workloads don't churn markers through the LRU.
+        cache.bypasses += 1
+        return execute_statement(database, stmt, params, transaction), "bypass"
+    if isinstance(stmt, ast.InsertStatement) and not params:
+        # Literal-only INSERTs (bulk loads) have unique SQL texts: caching
+        # them would churn one-shot plans through the LRU. Only the
+        # parameterized form is worth compiling.
         cache.bypasses += 1
         return execute_statement(database, stmt, params, transaction), "bypass"
     key = getattr(stmt, "storage_plan_key", None)
@@ -244,6 +264,71 @@ def _compile_into(cache: StoragePlanCache, key: Any, database: "Database",
     return entry.execute(params, transaction), "miss"
 
 
+def execute_planned_many(
+    database: "Database",
+    stmt: ast.Statement,
+    seq_of_params: Sequence[Sequence[Any]],
+    transaction: "Transaction | None" = None,
+) -> tuple[QueryResult, str]:
+    """Batched executemany entry: one plan invocation for all bindings.
+
+    Compiled INSERTs run every binding through ``runner_many`` — a single
+    plan call charging one write-I/O for the whole batch (the multi-row
+    INSERT cost model). Statements without a batched runner fall back to
+    per-binding planned execution, accumulating the rowcount; the combined
+    result then reports the summed cost with one coalesced write-I/O slice
+    so the connection can pay it once.
+    """
+    cache = database.plan_cache
+    seq = [tuple(params) for params in seq_of_params]
+    if (cache.enabled and isinstance(stmt, ast.InsertStatement) and seq
+            and all(seq)):
+        key = getattr(stmt, "storage_plan_key", None)
+        if key is not None:
+            entry = cache._cache.get(key)
+            status = "hit"
+            if entry is None or isinstance(entry, _Seen):
+                entry = _compile_entry(database, stmt)
+                cache._cache.put(key, entry)
+                status = "miss"
+            elif not _versions_current(database, entry.versions):
+                cache.invalidations += 1
+                entry = _compile_entry(database, stmt)
+                cache._cache.put(key, entry)
+                status = "miss"
+            if (isinstance(entry, StoragePlan) and entry.runner_many is not None
+                    and all(len(params) >= entry.param_count for params in seq)):
+                if status == "hit":
+                    cache.hits += 1
+                else:
+                    cache.misses += 1
+                return entry.runner_many(seq, transaction), status
+    # Per-binding fallback: still one call site, costs coalesced by caller.
+    total = 0
+    counted = False
+    cost = 0.0
+    write_io = 0.0
+    written = None
+    last: QueryResult | None = None
+    status = "bypass"
+    for params in seq:
+        last, status = execute_planned(database, stmt, params, transaction)
+        if last.rowcount >= 0:
+            counted = True
+            total += last.rowcount
+        cost += last.cost - last.write_cost
+        if last.written_table is not None:
+            written = last.written_table
+            write_io = max(write_io, last.write_cost)
+    if last is None:
+        return QueryResult(rowcount=0), "bypass"
+    return QueryResult(
+        columns=last.columns, rows=last.rows,
+        rowcount=total if counted else -1,
+        cost=cost + write_io, written_table=written, write_cost=write_io,
+    ), status
+
+
 def _versions_current(database: "Database",
                       versions: tuple[tuple[str, int], ...]) -> bool:
     current = database.schema_version
@@ -274,6 +359,7 @@ def _compile_entry(database: "Database", stmt: ast.Statement):
 
 def compile_storage_plan(database: "Database", stmt: ast.Statement,
                          versions: tuple[tuple[str, int], ...]) -> StoragePlan:
+    runner_many = None
     if isinstance(stmt, ast.SelectStatement):
         runner, param_count = _compile_select(database, stmt)
         kind = "select"
@@ -283,9 +369,12 @@ def compile_storage_plan(database: "Database", stmt: ast.Statement,
     elif isinstance(stmt, ast.DeleteStatement):
         runner, param_count = _compile_delete(database, stmt)
         kind = "delete"
+    elif isinstance(stmt, ast.InsertStatement):
+        runner, runner_many, param_count = _compile_insert(database, stmt)
+        kind = "insert"
     else:
         raise CannotCompile(f"statement type {type(stmt).__name__}")
-    return StoragePlan(kind, stmt, versions, param_count, runner)
+    return StoragePlan(kind, stmt, versions, param_count, runner, runner_many)
 
 
 # ---------------------------------------------------------------------------
@@ -478,8 +567,8 @@ def _compile_select(database: "Database", stmt: ast.SelectStatement):
     for join in stmt.joins:
         join_steps.append(_compile_join(database, join, layout, scan_ctx))
         join_tables.append(database.table(join.table.name))
-    where_pred = (compile_predicate(stmt.where, scan_ctx)
-                  if stmt.where is not None else None)
+    where_batch = (compile_batch_predicate(stmt.where, scan_ctx)
+                   if stmt.where is not None else None)
 
     # Aggregate mode is decided by select-list aggregates (mirrors
     # _execute_select); the accumulator slots also cover HAVING/ORDER BY
@@ -501,7 +590,7 @@ def _compile_select(database: "Database", stmt: ast.SelectStatement):
     else:
         out_ctx = scan_ctx
         aggregate_stage = None
-        plain_having = (compile_predicate(stmt.having, scan_ctx)
+        plain_having = (compile_batch_predicate(stmt.having, scan_ctx)
                         if stmt.having is not None else None)
 
     # ORDER BY: resolve select-list aliases like executor._order_value,
@@ -557,17 +646,25 @@ def _compile_select(database: "Database", stmt: ast.SelectStatement):
     latency = database.latency
     use_where_inline = not stmt.joins  # join plans filter after all joins
 
-    def base_stream(row_ids: list[int], params: Sequence[Any]) -> Iterator[tuple]:
+    def base_batches(row_ids: list[int], params: Sequence[Any],
+                     n: int) -> Iterator[list]:
+        """Read rows chunk-at-a-time; the WHERE filter runs per chunk
+        (one fused-predicate comprehension instead of per-row calls)."""
         get = base_table.get
-        inline = where_pred if use_where_inline else None
-        for row_id in row_ids:
-            try:
-                raw = get(row_id)
-            except KeyError:
-                continue
-            row = tuple(raw.values())
-            if inline is None or inline(row, params):
-                yield row
+        inline = where_batch if use_where_inline else None
+        for start in range(0, len(row_ids), n):
+            batch = []
+            append = batch.append
+            for row_id in row_ids[start:start + n]:
+                try:
+                    raw = get(row_id)
+                except KeyError:
+                    continue
+                append(tuple(raw.values()))
+            if inline is not None:
+                batch = inline(batch, params)
+            if batch:
+                yield batch
 
     def run(params: Sequence[Any],
             transaction: "Transaction | None" = None) -> QueryResult:
@@ -578,27 +675,29 @@ def _compile_select(database: "Database", stmt: ast.SelectStatement):
             examined += join_table.row_count
         cost = latency.statement_cost(base_rows, examined, used_index)
 
-        rows: Iterator[Any] = base_stream(row_ids, params)
+        n = database.batch_rows
+        batches: Iterator[list] = base_batches(row_ids, params, n if n > 0 else 1)
         for step in join_steps:
-            rows = step(rows, params)
-        if join_steps and where_pred is not None:
-            pred = where_pred
-            rows = (r for r in rows if pred(r, params))
+            batches = step(batches, params)
+        if join_steps and where_batch is not None:
+            post_filter = where_batch
+            batches = (kept for b in batches
+                       if (kept := post_filter(b, params)))
         if aggregate_stage is not None:
-            rows = aggregate_stage(rows, params)
+            batches = aggregate_stage(batches, params)
         elif plain_having is not None:
-            having = plain_having
-            rows = (r for r in rows if having(r, params))
+            having_filter = plain_having
+            batches = (kept for b in batches
+                       if (kept := having_filter(b, params)))
         if sort_stage is not None:
-            materialized = list(rows)
-            sort_stage(materialized, params)
-            rows = iter(materialized)
+            batches = sort_stage(batches, params)
         if distinct_stage is not None:
-            rows = distinct_stage(rows, params)
+            batches = distinct_stage(batches, params)
         if limit_stage is not None:
-            rows = limit_stage(rows, params)
+            batches = limit_stage(batches, params)
+        projected = ([project(r, params) for r in batch] for batch in batches)
         return QueryResult(columns=columns,
-                           rows=(project(r, params) for r in rows), cost=cost)
+                           rows=chain.from_iterable(projected), cost=cost)
 
     param_count = max(ctx.param_count for ctx in contexts)
     return run, param_count
@@ -609,37 +708,41 @@ def _order_norm(value: Any) -> Any:
 
 
 def _make_sort_stage(order_specs):
+    """Batch stage: flatten all chunks, sort once, emit one chunk."""
     if not order_specs:
         return None
     if len(order_specs) == 1:
         getter, desc, _ = order_specs[0]
 
-        def sort_single(materialized: list, params: Sequence[Any]) -> None:
+        def sort_in_place(materialized: list, params: Sequence[Any]) -> None:
             materialized.sort(
                 key=lambda r: sort_key(_order_norm(getter(r, params))),
                 reverse=desc,
             )
-
-        return sort_single
-    if not any(desc for _, desc, _ in order_specs):
+    elif not any(desc for _, desc, _ in order_specs):
         getters = tuple(g for g, _, _ in order_specs)
 
-        def sort_ascending(materialized: list, params: Sequence[Any]) -> None:
+        def sort_in_place(materialized: list, params: Sequence[Any]) -> None:
             materialized.sort(
                 key=lambda r: tuple(sort_key(_order_norm(g(r, params)))
                                     for g in getters)
             )
+    else:
+        specs = tuple((g, desc) for g, desc, _ in order_specs)
 
-        return sort_ascending
-    specs = tuple((g, desc) for g, desc, _ in order_specs)
+        def sort_in_place(materialized: list, params: Sequence[Any]) -> None:
+            materialized.sort(
+                key=lambda r: tuple(OrderToken(_order_norm(g(r, params)), d)
+                                    for g, d in specs)
+            )
 
-    def sort_mixed(materialized: list, params: Sequence[Any]) -> None:
-        materialized.sort(
-            key=lambda r: tuple(OrderToken(_order_norm(g(r, params)), d)
-                                for g, d in specs)
-        )
+    def sort_stage(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
+        materialized = list(chain.from_iterable(batches))
+        sort_in_place(materialized, params)
+        if materialized:
+            yield materialized
 
-    return sort_mixed
+    return sort_stage
 
 
 def _compile_join(database: "Database", join: ast.Join, layout: RowLayout,
@@ -677,7 +780,8 @@ def _compile_join(database: "Database", join: ast.Join, layout: RowLayout,
     null_row = (None,) * right_width
 
     if eq is not None:
-        def hash_join(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+        def hash_join(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
+            # Build once per execution (first consumption), probe per chunk.
             right_rows = [tuple(raw.values()) for _, raw in right_table.scan()]
             buckets: dict[Any, list[tuple]] = {}
             if key_pos is None:
@@ -685,37 +789,47 @@ def _compile_join(database: "Database", join: ast.Join, layout: RowLayout,
             else:
                 for right_row in right_rows:
                     buckets.setdefault(_freeze(right_row[key_pos]), []).append(right_row)
-            for left in rows:
-                if left_key is None:
-                    key = None
-                else:
-                    try:
-                        key = _freeze(left_key(left, params))
-                    except StorageError:
+            for batch in batches:
+                out: list[tuple] = []
+                append = out.append
+                for left in batch:
+                    if left_key is None:
                         key = None
-                matched = buckets.get(key, ()) if key is not None else ()
-                emitted = False
-                for right_row in matched:
-                    combined = left + right_row
-                    if condition is None or condition(combined, params):
-                        emitted = True
-                        yield combined
-                if not emitted and left_join:
-                    yield left + null_row
+                    else:
+                        try:
+                            key = _freeze(left_key(left, params))
+                        except StorageError:
+                            key = None
+                    matched = buckets.get(key, ()) if key is not None else ()
+                    emitted = False
+                    for right_row in matched:
+                        combined = left + right_row
+                        if condition is None or condition(combined, params):
+                            emitted = True
+                            append(combined)
+                    if not emitted and left_join:
+                        append(left + null_row)
+                if out:
+                    yield out
 
         return hash_join
 
-    def nested_loop(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+    def nested_loop(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
         right_rows = [tuple(raw.values()) for _, raw in right_table.scan()]
-        for left in rows:
-            emitted = False
-            for right_row in right_rows:
-                combined = left + right_row
-                if condition is None or condition(combined, params):
-                    emitted = True
-                    yield combined
-            if not emitted and left_join:
-                yield left + null_row
+        for batch in batches:
+            out: list[tuple] = []
+            append = out.append
+            for left in batch:
+                emitted = False
+                for right_row in right_rows:
+                    combined = left + right_row
+                    if condition is None or condition(combined, params):
+                        emitted = True
+                        append(combined)
+                if not emitted and left_join:
+                    append(left + null_row)
+            if out:
+                yield out
 
     return nested_loop
 
@@ -776,33 +890,37 @@ class _CompiledAgg:
 
 
 def _make_aggregate_stage(agg_specs, group_getters, having_pred):
-    def aggregate(rows: Iterator[tuple], params: Sequence[Any]) -> Iterator[tuple]:
+    def aggregate(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
         groups: dict[tuple, tuple] = {}
         order: list[tuple] = []
-        for row in rows:
-            if group_getters:
-                key = tuple(_freeze(g(row, params)) for g in group_getters)
-            else:
-                key = ()
-            state = groups.get(key)
-            if state is None:
-                state = (row, [spec.new_state() for spec in agg_specs])
-                groups[key] = state
-                order.append(key)
-            states = state[1]
-            for spec, agg_state in zip(agg_specs, states):
-                spec.accumulate(agg_state, row, params)
+        for batch in batches:
+            for row in batch:
+                if group_getters:
+                    key = tuple(_freeze(g(row, params)) for g in group_getters)
+                else:
+                    key = ()
+                state = groups.get(key)
+                if state is None:
+                    state = (row, [spec.new_state() for spec in agg_specs])
+                    groups[key] = state
+                    order.append(key)
+                states = state[1]
+                for spec, agg_state in zip(agg_specs, states):
+                    spec.accumulate(agg_state, row, params)
         if not groups and not group_getters:
             # Aggregates over empty input still yield one row (COUNT -> 0);
             # sample=None makes column refs raise like the interpreter.
             groups[()] = (None, [spec.new_state() for spec in agg_specs])
             order.append(())
+        out: list = []
         for key in order:
             sample, states = groups[key]
-            out = (sample, tuple(spec.result(agg_state)
+            row = (sample, tuple(spec.result(agg_state)
                                  for spec, agg_state in zip(agg_specs, states)))
-            if having_pred is None or having_pred(out, params):
-                yield out
+            if having_pred is None or having_pred(row, params):
+                out.append(row)
+        if out:
+            yield out
 
     return aggregate
 
@@ -826,16 +944,22 @@ def _make_distinct_stage(stmt: ast.SelectStatement, ctx: CompileContext,
         def whole_row(row: Any) -> Any:
             return tuple(_freeze(v) for v in row)
 
-    def distinct(rows: Iterator[Any], params: Sequence[Any]) -> Iterator[Any]:
+    def distinct(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
         seen: set[tuple] = set()
-        for row in rows:
-            key = tuple(
-                whole_row(row) if g is None else _freeze(g(row, params))
-                for g in getters
-            )
-            if key not in seen:
-                seen.add(key)
-                yield row
+        add = seen.add
+        for batch in batches:
+            out: list = []
+            append = out.append
+            for row in batch:
+                key = tuple(
+                    whole_row(row) if g is None else _freeze(g(row, params))
+                    for g in getters
+                )
+                if key not in seen:
+                    add(key)
+                    append(row)
+            if out:
+                yield out
 
     return distinct
 
@@ -846,17 +970,29 @@ def _make_limit_stage(limit: ast.Limit, ctx: CompileContext):
     count_getter = (compile_scalar(limit.count, ctx)
                     if limit.count is not None else None)
 
-    def apply_limit(rows: Iterator[Any], params: Sequence[Any]) -> Iterator[Any]:
+    def apply_limit(batches: Iterator[list], params: Sequence[Any]) -> Iterator[list]:
         offset = int(offset_getter(None, params)) if offset_getter is not None else 0
         count = int(count_getter(None, params)) if count_getter is not None else None
+        skipped = 0
         emitted = 0
-        for i, row in enumerate(rows):
-            if i < offset:
-                continue
+        for batch in batches:
+            if skipped < offset:
+                if skipped + len(batch) <= offset:
+                    skipped += len(batch)
+                    continue
+                batch = batch[offset - skipped:]
+                skipped = offset
+            if count is not None:
+                take = count - emitted
+                if take <= 0:
+                    return
+                if len(batch) > take:
+                    batch = batch[:take]
+            emitted += len(batch)
+            if batch:
+                yield batch
             if count is not None and emitted >= count:
                 return
-            emitted += 1
-            yield row
 
     return apply_limit
 
@@ -909,14 +1045,42 @@ def _compile_projection(stmt: ast.SelectStatement, database: "Database",
 # ---------------------------------------------------------------------------
 
 
+def _candidate_batches(table: Table, row_ids: list[int], n: int,
+                       where_batch: BatchFilter | None,
+                       params: Sequence[Any]) -> Iterator[list]:
+    """Chunked (row + row_id) candidates for DML, batch-filtered.
+
+    Each candidate tuple is the raw value tuple with its row id appended
+    one slot past the layout width — compiled getters only read layout
+    offsets, so the extra element is invisible to predicates/assignments.
+    Rows are snapshotted before any mutation in the chunk; each candidate
+    is visited exactly once and mutations only touch the visited row, so
+    chunked read-then-write is equivalent to the row-at-a-time loop.
+    """
+    get = table.get
+    for start in range(0, len(row_ids), n):
+        batch = []
+        append = batch.append
+        for row_id in row_ids[start:start + n]:
+            try:
+                raw = get(row_id)
+            except KeyError:
+                continue
+            append(tuple(raw.values()) + (row_id,))
+        if where_batch is not None:
+            batch = where_batch(batch, params)
+        if batch:
+            yield batch
+
+
 def _compile_update(database: "Database", stmt: ast.UpdateStatement):
     table = database.table(stmt.table.name)
     exposed = stmt.table.exposed_name
     layout = RowLayout()
     layout.add(exposed, table.schema.column_names)
     ctx = CompileContext("scan", layout)
-    where_pred = (compile_predicate(stmt.where, ctx)
-                  if stmt.where is not None else None)
+    where_batch = (compile_batch_predicate(stmt.where, ctx)
+                   if stmt.where is not None else None)
     assignments = tuple(
         (column, compile_scalar(expr, ctx)) for column, expr in stmt.assignments
     )
@@ -928,24 +1092,19 @@ def _compile_update(database: "Database", stmt: ast.UpdateStatement):
         txn = _require_txn(transaction)
         row_ids, used_index = access.run(params)
         updated = 0
-        get = table.get
-        for row_id in row_ids:
-            try:
-                raw = get(row_id)
-            except KeyError:
-                continue
-            row = tuple(raw.values())
-            if where_pred is not None and not where_pred(row, params):
-                continue
-            changes = {column: g(row, params) for column, g in assignments}
-            old_row = table.update(row_id, changes)
-            txn.record_update(table, row_id, old_row)
-            updated += 1
+        n = database.batch_rows
+        for batch in _candidate_batches(table, row_ids, n if n > 0 else 1,
+                                        where_batch, params):
+            for row in batch:
+                changes = {column: g(row, params) for column, g in assignments}
+                old_row = table.update(row[-1], changes)
+                txn.record_update(table, row[-1], old_row)
+            updated += len(batch)
         examined = len(row_ids) if used_index else table.row_count
         cost = latency.statement_cost(table.row_count, examined + updated, used_index)
-        if updated:
-            cost += latency.write_cost(table.row_count)
-        return QueryResult(rowcount=updated, cost=cost, written_table=table)
+        io = latency.write_cost(table.row_count) if updated else 0.0
+        return QueryResult(rowcount=updated, cost=cost + io,
+                           written_table=table, write_cost=io)
 
     return run, ctx.param_count
 
@@ -956,8 +1115,8 @@ def _compile_delete(database: "Database", stmt: ast.DeleteStatement):
     layout = RowLayout()
     layout.add(exposed, table.schema.column_names)
     ctx = CompileContext("scan", layout)
-    where_pred = (compile_predicate(stmt.where, ctx)
-                  if stmt.where is not None else None)
+    where_batch = (compile_batch_predicate(stmt.where, ctx)
+                   if stmt.where is not None else None)
     access = _compile_access(table, exposed, stmt.where)
     latency = database.latency
 
@@ -966,25 +1125,79 @@ def _compile_delete(database: "Database", stmt: ast.DeleteStatement):
         txn = _require_txn(transaction)
         row_ids, used_index = access.run(params)
         deleted = 0
-        get = table.get
-        for row_id in row_ids:
-            try:
-                raw = get(row_id)
-            except KeyError:
-                continue
-            row = tuple(raw.values())
-            if where_pred is not None and not where_pred(row, params):
-                continue
-            old_row = table.delete(row_id)
-            txn.record_delete(table, row_id, old_row)
-            deleted += 1
+        n = database.batch_rows
+        for batch in _candidate_batches(table, row_ids, n if n > 0 else 1,
+                                        where_batch, params):
+            for row in batch:
+                old_row = table.delete(row[-1])
+                txn.record_delete(table, row[-1], old_row)
+            deleted += len(batch)
         examined = len(row_ids) if used_index else table.row_count
         cost = latency.statement_cost(table.row_count, examined + deleted, used_index)
-        if deleted:
-            cost += latency.write_cost(table.row_count)
-        return QueryResult(rowcount=deleted, cost=cost, written_table=table)
+        io = latency.write_cost(table.row_count) if deleted else 0.0
+        return QueryResult(rowcount=deleted, cost=cost + io,
+                           written_table=table, write_cost=io)
 
     return run, ctx.param_count
+
+
+# ---------------------------------------------------------------------------
+# INSERT
+# ---------------------------------------------------------------------------
+
+
+def _compile_insert(database: "Database", stmt: ast.InsertStatement):
+    """Compiled parameterized INSERT: per-row value getters bound in a
+    constant context (column references cannot compile, matching the
+    interpreter's empty row namespace), plus a batched ``runner_many``
+    that executes every executemany binding in one plan invocation and
+    charges write I/O once for the whole batch — the same amortization
+    the interpreter already applies to one multi-row INSERT statement.
+    """
+    table = database.table(stmt.table.name)
+    columns = tuple(stmt.columns or table.schema.column_names)
+    ctx = CompileContext("const")
+    row_specs = []
+    for row_exprs in stmt.values_rows:
+        if len(row_exprs) != len(columns):
+            # Interpreter raises ExecutionError per execution; fall back.
+            raise CannotCompile("INSERT column/value count mismatch")
+        row_specs.append(tuple(compile_scalar(expr, ctx) for expr in row_exprs))
+    specs = tuple(row_specs)
+    latency = database.latency
+
+    def insert_rows(params: Sequence[Any], txn: "Transaction") -> int:
+        inserted = 0
+        insert = table.insert
+        record = txn.record_insert
+        for getters in specs:
+            values = {col: g(None, params) for col, g in zip(columns, getters)}
+            row_id, _ = insert(values)
+            record(table, row_id)
+            inserted += 1
+        return inserted
+
+    def run(params: Sequence[Any],
+            transaction: "Transaction | None") -> QueryResult:
+        txn = _require_txn(transaction)
+        inserted = insert_rows(params, txn)
+        cost = latency.statement_cost(table.row_count, inserted, uses_index=True)
+        io = latency.write_cost(table.row_count)
+        return QueryResult(rowcount=inserted, cost=cost + io,
+                           written_table=table, write_cost=io)
+
+    def run_many(seq_of_params: Sequence[Sequence[Any]],
+                 transaction: "Transaction | None") -> QueryResult:
+        txn = _require_txn(transaction)
+        inserted = 0
+        for params in seq_of_params:
+            inserted += insert_rows(params, txn)
+        cost = latency.statement_cost(table.row_count, inserted, uses_index=True)
+        io = latency.write_cost(table.row_count) if inserted else 0.0
+        return QueryResult(rowcount=inserted, cost=cost + io,
+                           written_table=table, write_cost=io)
+
+    return run, run_many, ctx.param_count
 
 
 def _require_txn(transaction: "Transaction | None") -> "Transaction":
