@@ -16,6 +16,7 @@ from ..distsql import execute_distsql, is_distsql
 from ..engine.pipeline import EngineResult
 from ..exceptions import ConnectionClosedError, TransactionError, UnsupportedSQLError
 from ..sql import ast, parse
+from ..storage.replication import pin_primary
 from ..transaction import DistributedTransaction
 from .runtime import ShardingRuntime
 
@@ -141,6 +142,17 @@ class ShardingConnection:
         """
         return HintManager(self, values)
 
+    def primary(self):
+        """Scope reads to primaries (HintManager.setPrimaryRouteOnly)::
+
+            with conn.primary():
+                conn.execute("SELECT ...")   # never served by a replica
+
+        Pins the calling session: read-write splitting sends reads to the
+        group primary and the result cache is bypassed for the block.
+        """
+        return pin_primary()
+
     # -- DAL -----------------------------------------------------------------
 
     def _show(self, statement: ast.ShowStatement) -> ShardingResult:
@@ -206,12 +218,22 @@ class ShardingConnection:
             if isinstance(statement, ast.ShowStatement):
                 return self._show(statement)
 
-        held = _PinnedConnections(self._transaction) if self.in_transaction else None
-        engine_result = self.runtime.engine.execute(
-            sql, params,
-            held_connections=held,
-            hint_values=self.hint_values or None,
-        )
+        if self.in_transaction:
+            # Reads inside an explicit transaction must observe its own
+            # uncommitted writes: pin the session so read-write splitting
+            # keeps every statement on the primary's pinned connection.
+            with pin_primary():
+                engine_result = self.runtime.engine.execute(
+                    sql, params,
+                    held_connections=_PinnedConnections(self._transaction),
+                    hint_values=self.hint_values or None,
+                )
+        else:
+            engine_result = self.runtime.engine.execute(
+                sql, params,
+                held_connections=None,
+                hint_values=self.hint_values or None,
+            )
         return self._wrap(engine_result)
 
     def execute_pipeline(
@@ -237,9 +259,14 @@ class ShardingConnection:
                     "execute_pipeline only accepts plain SQL statements; "
                     f"route {verb or sql!r} through execute()"
                 )
-        held = _PinnedConnections(self._transaction) if self.in_transaction else None
-        engine_results = self.runtime.engine.execute_pipeline(
-            list(statements), held_connections=held)
+        if self.in_transaction:
+            with pin_primary():
+                engine_results = self.runtime.engine.execute_pipeline(
+                    list(statements),
+                    held_connections=_PinnedConnections(self._transaction))
+        else:
+            engine_results = self.runtime.engine.execute_pipeline(
+                list(statements), held_connections=None)
         return [self._wrap(engine_result) for engine_result in engine_results]
 
     def _wrap(self, engine_result: EngineResult) -> ShardingResult:

@@ -78,6 +78,7 @@ class ShardingRuntime:
                 "slow_query_threshold_ms": self.observability.slow_log.threshold * 1000.0,
                 "plan_cache": "ON",
                 "workload_analytics": "ON",
+                "result_cache": "OFF",
             },
             config_center=self.config_center,
         )
@@ -140,6 +141,39 @@ class ShardingRuntime:
         """
         self.health_detector = detector
         self.engine.executor.set_health_check(detector.is_up)
+        detector.add_failover_listener(self._on_failover)
+
+    def _on_failover(self, group_name: str, old_primary: str,
+                     new_primary: str) -> None:
+        """Re-point the read-write group after a Governor-driven promotion.
+
+        Groups are keyed by the *original* primary's name — the name the
+        router emits — so the promoted group must replace the entry under
+        its existing key, not appear under a new one. The result cache is
+        cleared wholesale: entries created before the promotion guard
+        against the fenced primary's now-frozen data versions and would
+        otherwise keep validating forever.
+        """
+        feature = self._rwsplit_feature
+        if feature is None:
+            return
+        group = feature.groups.get(group_name) or next(
+            (g for g in feature.groups.values() if g.primary == old_primary),
+            None)
+        if group is None:
+            return
+        replicas = [r for r in group.replicas if r != new_primary]
+        source = self.data_sources.get(new_primary)
+        feature.replace_group(ReadWriteGroup(
+            name=group.name,
+            primary=new_primary,
+            replicas=replicas,
+            load_balancer=group.load_balancer,
+            replication=getattr(source, "replica_group", None)
+            or group.replication,
+        ))
+        self.engine.result_cache.clear(f"failover of {old_primary}")
+        self.metadata.touch(f"failover: {old_primary} -> {new_primary}")
 
     def _source_is_up(self, name: str) -> bool:
         """UP per the Governor AND admitted by the source's breaker."""
@@ -225,6 +259,12 @@ class ShardingRuntime:
         elif name == "workload_analytics":
             enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
             self.observability.workload.enabled = enabled
+            stored = "ON" if enabled else "OFF"
+        elif name == "result_cache":
+            enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
+            self.engine.result_cache.enabled = enabled
+            if not enabled:
+                self.engine.result_cache.clear("SET VARIABLE result_cache = off")
             stored = "ON" if enabled else "OFF"
         else:  # plan_cache
             enabled = str(value).strip().lower() in ("1", "true", "on", "yes")
@@ -334,11 +374,16 @@ class ShardingRuntime:
         return False
 
     def apply_rwsplit_rule(self, name: str, primary: str, replicas: list[str]) -> bool:
-        group = ReadWriteGroup(name=primary, primary=primary, replicas=list(replicas))
+        group = ReadWriteGroup(
+            name=primary, primary=primary, replicas=list(replicas),
+            replication=getattr(
+                self.data_sources.get(primary), "replica_group", None),
+        )
         feature = self._rwsplit_feature
         if feature is None:
             self._rwsplit_feature = ReadWriteSplittingFeature(
-                [group], is_up=self._source_is_up
+                [group], is_up=self._source_is_up,
+                breakers=self.engine.executor.breakers,
             )
             self.engine.add_feature(self._rwsplit_feature)
             return True

@@ -29,7 +29,7 @@ from typing import Any, Sequence
 
 from ..adaptors import ShardingDataSource, ShardingProxyServer, ShardingRuntime
 from ..protocol import ProxyClient
-from ..storage import DataSource, LatencyModel
+from ..storage import DataSource, LatencyModel, ReplicaGroup
 from ..transaction import TransactionType
 from .base import SystemUnderTest
 from .topology import make_grid_sharding, make_sources
@@ -191,11 +191,28 @@ class ShardingJDBCSystem(SystemUnderTest):
         name: str = "SSJ",
         pool_size: int = 128,
         io_channels: int = 4,
+        replicas: int = 0,
+        replication_lag: float = 0.0,
+        replication_jitter: float = 0.0,
+        result_cache: bool = False,
     ):
         self.name = name
         source_names = [f"ds{i}" for i in range(num_sources)]
         sources = make_sources(source_names, latency=latency, pool_size=pool_size,
                                io_channels=io_channels)
+        self.replica_groups: list[ReplicaGroup] = []
+        if replicas:
+            for index, primary_name in enumerate(source_names):
+                replica_sources = make_sources(
+                    [f"{primary_name}_r{j}" for j in range(replicas)],
+                    latency=latency, pool_size=pool_size, io_channels=io_channels,
+                )
+                group = ReplicaGroup(
+                    sources[primary_name], list(replica_sources.values()),
+                    lag=replication_lag, jitter=replication_jitter, seed=index,
+                )
+                sources.update(replica_sources)
+                self.replica_groups.append(group)
         rule = make_grid_sharding(
             tables, source_names, tables_per_source, binding_groups, broadcast_tables,
             layout=layout, key_space=key_space,
@@ -205,7 +222,16 @@ class ShardingJDBCSystem(SystemUnderTest):
             max_connections_per_query=max_connections_per_query,
             transaction_type=transaction_type,
         )
+        for group in self.replica_groups:
+            self.runtime.apply_rwsplit_rule(group.name, group.name, group.replica_names)
+        if result_cache:
+            self.runtime.engine.result_cache.enabled = True
         self.data_source = ShardingDataSource(self.runtime)
+
+    def sync_replicas(self) -> None:
+        """Force all replicas fully caught up (post-prepare barrier)."""
+        for group in self.replica_groups:
+            group.sync()
 
     def session(self) -> _JdbcSession:
         return _JdbcSession(self.data_source)

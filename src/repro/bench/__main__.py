@@ -84,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-pipeline", action="store_true",
                         help="disable fused statement pipelining in the TPC-C "
                              "transactions (serial statement-at-a-time path)")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="read replicas per data source (engine systems); "
+                             "reads split off to replicas via lag-aware "
+                             "load balancing")
+    parser.add_argument("--replication-lag-ms", type=float, default=0.0,
+                        help="simulated async replication lag per replica "
+                             "(jittered ±25%%); read-your-writes still holds "
+                             "via causal session tokens")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the engine result cache (on by default "
+                             "for engine systems) for ablations")
     return parser
 
 
@@ -174,6 +185,14 @@ def _plan_cache_stats(system):
     return plan_cache.stats() if plan_cache is not None else None
 
 
+def _result_cache_stats(system):
+    """Current result-cache counters, or None for systems without the engine."""
+    runtime = getattr(system, "runtime", None)
+    engine = getattr(runtime, "engine", None) if runtime is not None else None
+    cache = getattr(engine, "result_cache", None) if engine is not None else None
+    return cache.stats() if cache is not None else None
+
+
 def _storage_plan_stats(system):
     """Storage plan-cache counters summed across data sources, or None."""
     runtime = getattr(system, "runtime", None)
@@ -190,7 +209,8 @@ def _storage_plan_stats(system):
 
 
 def print_profile_report(system, observability, measurement, args,
-                         plan_before=None, storage_before=None) -> None:
+                         plan_before=None, storage_before=None,
+                         result_cache_before=None) -> None:
     profile = observability.stage_profile()
     rows = [
         (stage, int(stats["count"]), round(stats["avg"] * 1000, 3),
@@ -260,6 +280,53 @@ def print_profile_report(system, observability, measurement, args,
             f"invalidations={delta['invalidations']}, "
             f"size={storage_after['size']})"
         )
+    cache_after = _result_cache_stats(system)
+    if cache_after is not None and cache_after["enabled"]:
+        before = result_cache_before or {}
+        delta = {
+            key: cache_after[key] - before.get(key, 0)
+            for key in ("hits", "misses", "stores", "evictions",
+                        "invalidations", "causal_bypasses")
+        }
+        total = delta["hits"] + delta["misses"]
+        hit_rate = delta["hits"] / total if total else 0.0
+        payload["result_cache"] = {
+            **delta,
+            "entries": cache_after["entries"],
+            "capacity": cache_after["capacity"],
+            "hit_rate": round(hit_rate, 4),
+        }
+        print(
+            f"result cache: hit rate {hit_rate:.1%} "
+            f"(hits={delta['hits']}, misses={delta['misses']}, "
+            f"stores={delta['stores']}, "
+            f"invalidations={delta['invalidations']}, "
+            f"causal_bypasses={delta['causal_bypasses']}, "
+            f"entries={cache_after['entries']})"
+        )
+    groups = getattr(system, "replica_groups", None)
+    if groups:
+        payload["replication"] = {
+            "lag": [row for group in groups for row in group.lag_report()],
+            "promotions": [
+                {
+                    "group": event.group,
+                    "old_primary": event.old_primary,
+                    "new_primary": event.new_primary,
+                    "lsn": event.lsn,
+                }
+                for group in groups for event in group.promotions
+            ],
+        }
+        total_lag = sum(
+            row["lag_records"] for row in payload["replication"]["lag"]
+        )
+        print(
+            f"replication: {len(groups)} group(s), "
+            f"{sum(len(g.states) for g in groups)} replica(s), "
+            f"{total_lag} unapplied record(s), "
+            f"{len(payload['replication']['promotions'])} promotion(s)"
+        )
     workload = getattr(observability, "workload", None)
     if workload is not None and workload.enabled:
         digests = workload.digest_report(limit=10)
@@ -317,16 +384,26 @@ def build_system(args: argparse.Namespace, tables, broadcast=()):
         grid.update(layout=args.layout)
         if args.layout == "range":
             grid.update(key_space=args.table_size + 1)
+    engine_grid = dict(
+        grid,
+        replicas=args.replicas,
+        replication_lag=args.replication_lag_ms / 1000.0,
+        replication_jitter=0.25 if args.replication_lag_ms else 0.0,
+        result_cache=not args.no_result_cache,
+    )
+    if args.replicas and args.system not in ("ssj", "ssp"):
+        print(f"warning: --replicas ignored: {args.system} has no replica groups",
+              file=sys.stderr)
     if args.system == "ssj":
         return ShardingJDBCSystem(
             tables, broadcast_tables=broadcast, name="SSJ",
             transaction_type=TransactionType.of(args.transaction_type),
-            max_connections_per_query=args.maxcon, **grid,
+            max_connections_per_query=args.maxcon, **engine_grid,
         )
     if args.system == "ssp":
         return ShardingProxySystem(
             tables, broadcast_tables=broadcast, name="SSP",
-            max_connections_per_query=args.maxcon, **grid,
+            max_connections_per_query=args.maxcon, **engine_grid,
         )
     if args.system == "middleware":
         return MiddlewareSystem(tables, broadcast_tables=broadcast, name="Vitess-like", **grid)
@@ -352,11 +429,14 @@ def main(argv: list[str] | None = None) -> int:
         apply_batch_rows(system, args)
         print(f"preparing {args.system} with {args.table_size} rows ...", file=sys.stderr)
         workload.prepare(system)
+        if hasattr(system, "sync_replicas"):
+            system.sync_replicas()
         injector = enable_chaos(system, args) if args.chaos else None
         observability = enable_profile(system, args) if args.profile else None
         apply_workload_analytics(system, args)
         plan_before = _plan_cache_stats(system) if args.profile else None
         storage_before = _storage_plan_stats(system) if args.profile else None
+        cache_before = _result_cache_stats(system) if args.profile else None
         try:
             measurement = run_benchmark(
                 system,
@@ -373,7 +453,7 @@ def main(argv: list[str] | None = None) -> int:
             print_chaos_report(system, injector)
         if observability is not None:
             print_profile_report(system, observability, measurement, args,
-                                 plan_before, storage_before)
+                                 plan_before, storage_before, cache_before)
         return 0
 
     workload = TPCCWorkload(TPCCConfig(
@@ -385,11 +465,14 @@ def main(argv: list[str] | None = None) -> int:
     apply_batch_rows(system, args)
     print(f"preparing TPC-C with {args.warehouses} warehouses ...", file=sys.stderr)
     workload.prepare(system)
+    if hasattr(system, "sync_replicas"):
+        system.sync_replicas()
     injector = enable_chaos(system, args) if args.chaos else None
     observability = enable_profile(system, args) if args.profile else None
     apply_workload_analytics(system, args)
     plan_before = _plan_cache_stats(system) if args.profile else None
     storage_before = _storage_plan_stats(system) if args.profile else None
+    cache_before = _result_cache_stats(system) if args.profile else None
     try:
         measurement = run_benchmark(
             system,
@@ -408,7 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         print_chaos_report(system, injector)
     if observability is not None:
         print_profile_report(system, observability, measurement, args,
-                             plan_before, storage_before)
+                             plan_before, storage_before, cache_before)
     return 0
 
 

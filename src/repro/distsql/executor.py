@@ -407,6 +407,67 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
         "slow_queries_by_digest",
     ):
         return _show_workload(stmt, runtime)
+    if stmt.subject == "read_resources":
+        feature = getattr(runtime, "_rwsplit_feature", None)
+        rows = []
+        if feature is not None:
+            for name, group in sorted(feature.groups.items()):
+                rows.append((
+                    name,
+                    group.primary,
+                    ", ".join(group.replicas) or "-",
+                    type(group.load_balancer).__name__,
+                    "yes" if group.replication is not None else "no",
+                ))
+        return DistSQLResult(
+            columns=["group", "primary", "replicas", "load_balancer",
+                     "replicated"],
+            rows=rows,
+            message="no read-write splitting rule configured"
+            if feature is None else "OK",
+        )
+    if stmt.subject == "replication_lag":
+        seen: dict[int, Any] = {}
+        for source in runtime.data_sources.values():
+            group = getattr(source, "replica_group", None)
+            if group is not None:
+                seen.setdefault(id(group), group)
+        rows = [
+            (
+                entry["group"], entry["replica"], entry["applied_lsn"],
+                entry["last_lsn"], entry["lag_records"],
+                entry["staleness_s"], entry["configured_lag_s"],
+            )
+            for group in seen.values()
+            for entry in group.lag_report()
+        ]
+        return DistSQLResult(
+            columns=["group", "replica", "applied_lsn", "last_lsn",
+                     "lag_records", "staleness_s", "configured_lag_s"],
+            rows=rows,
+            message="no replica groups attached" if not seen else "OK",
+        )
+    if stmt.subject == "result_cache":
+        engine = getattr(runtime, "engine", None)
+        result_cache = getattr(engine, "result_cache", None) if engine is not None else None
+        if result_cache is None:
+            return DistSQLResult(
+                columns=["stat", "value"], rows=[],
+                message="no SQL engine attached",
+            )
+        stats = result_cache.stats()
+        rows = [(key, stats[key]) for key in sorted(stats)]
+        message = (
+            f"{stats['entries']}/{stats['capacity']} entries, "
+            f"hit rate {stats['hit_rate']:.1%} "
+            f"(hits={stats['hits']}, misses={stats['misses']}, "
+            f"invalidations={stats['invalidations']})"
+        )
+        if not result_cache.enabled:
+            message += "; result cache is DISABLED (SET VARIABLE result_cache = on)"
+        return DistSQLResult(
+            columns=["stat", "value"], rows=rows, message=message,
+        )
     if stmt.subject == "failovers":
         detector = getattr(runtime, "health_detector", None)
         events = detector.failover_events if detector is not None else []
@@ -587,6 +648,15 @@ def _clear_plan_cache(stmt: p.ClearPlanCache, runtime: Runtime) -> DistSQLResult
     return DistSQLResult(message=f"cleared {dropped} plan(s)")
 
 
+def _clear_result_cache(stmt: p.ClearResultCache, runtime: Runtime) -> DistSQLResult:
+    engine = getattr(runtime, "engine", None)
+    result_cache = getattr(engine, "result_cache", None) if engine is not None else None
+    if result_cache is None:
+        raise DistSQLError("CLEAR RESULT CACHE requires a runtime with a SQL engine")
+    dropped = result_cache.clear("CLEAR RESULT CACHE")
+    return DistSQLResult(message=f"cleared {dropped} cached result(s)")
+
+
 def _reset_workload(stmt: p.ResetWorkload, runtime: Runtime) -> DistSQLResult:
     workload = _workload_of(runtime)
     if workload is None:
@@ -674,6 +744,7 @@ _HANDLERS = {
     p.Preview: _preview,
     p.TraceStatement: _trace,
     p.ClearPlanCache: _clear_plan_cache,
+    p.ClearResultCache: _clear_result_cache,
     p.ResetWorkload: _reset_workload,
     p.MigrateTable: _migrate_table,
 }

@@ -31,11 +31,15 @@ RQL (Resource & Rule Query Language)::
     SHOW METRICS [LIKE 'engine_%']
     SHOW TRACES
     SHOW SLOW QUERIES
+    SHOW READ RESOURCES
+    SHOW REPLICATION LAG
 
 RAL (Resource & Rule Administration Language)::
 
     SET VARIABLE transaction_type = XA
     SHOW VARIABLE transaction_type
+    SHOW RESULT CACHE
+    CLEAR RESULT CACHE
     PREVIEW SELECT * FROM t_user WHERE uid = 1
     TRACE SELECT * FROM t_user WHERE uid = 1
     MIGRATE TABLE t_user (RESOURCES(ds2, ds3), SHARDING_COLUMN=uid,
@@ -155,6 +159,13 @@ class ClearPlanCache(DistSQLStatement):
 
 
 @dataclass
+class ClearResultCache(DistSQLStatement):
+    """Drop every cached result from the engine's result cache (RAL)."""
+
+    language = "RAL"
+
+
+@dataclass
 class ResetWorkload(DistSQLStatement):
     """Drop accumulated workload analytics (digests, heat, SLOs) (RAL)."""
 
@@ -201,7 +212,11 @@ _DIST_PREFIXES = (
     "SHOW SHARD",
     "SHOW HOT",
     "SHOW SLO",
+    "SHOW READ",
+    "SHOW REPLICATION",
+    "SHOW RESULT",
     "CLEAR PLAN",
+    "CLEAR RESULT",
     "SET VARIABLE",
     "PREVIEW",
     "TRACE ",
@@ -353,6 +368,9 @@ class _Parser:
             self._expect_eq()
             return SetVariable(name=name, value=self._value())
         if self._accept_word("CLEAR"):
+            if self._accept_word("RESULT"):
+                self._expect_word("CACHE")
+                return ClearResultCache()
             self._expect_word("PLAN")
             self._expect_word("CACHE")
             return ClearPlanCache()
@@ -515,4 +533,13 @@ class _Parser:
             if self._accept_word("ALERTS"):
                 return ShowStatement(subject="slo_alerts")
             return ShowStatement(subject="slo")
+        if self._accept_word("READ"):
+            self._expect_word("RESOURCES")
+            return ShowStatement(subject="read_resources")
+        if self._accept_word("REPLICATION"):
+            self._expect_word("LAG")
+            return ShowStatement(subject="replication_lag")
+        if self._accept_word("RESULT"):
+            self._expect_word("CACHE")
+            return ShowStatement(subject="result_cache")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

@@ -9,6 +9,7 @@ or mutate it, may redirect routed units, and may post-process results.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
@@ -20,11 +21,13 @@ from ..sharding import ShardingRule
 from ..sql import ast, parse
 from ..sql.formatter import format_statement
 from ..storage import Connection, DataSource
+from ..storage.replication import primary_pinned, session_token
 from .context import StatementContext, build_context
 from .executor import ConnectionMode, ExecutionEngine, ExecutionResult
 from .merger import MergedResult, MergeSpec, merge
 from .plan import CompiledPlan, PlanCache, compile_plan
 from .resilience import REROUTABLE_ERRORS, ResiliencePolicy
+from .result_cache import ResultCache
 from .rewriter import ExecutionUnit, RewriteResult, rewrite
 from .router import RouteResult, route
 
@@ -150,6 +153,11 @@ class SQLEngine:
         #: compiled plans for parameterized statements (the hot path)
         self.plan_cache = PlanCache()
         self.plan_cache.epoch = metadata.current().plan_epoch
+        #: materialized hot point-read results (off by default; enabled
+        #: via ``SET VARIABLE result_cache = ON`` or the bench harness).
+        #: Keys embed the plan epoch; entries carry storage data-version
+        #: and replica-group causal guards (see .result_cache).
+        self.result_cache = ResultCache()
         metadata.subscribe(self._on_metadata_swap)
 
     # -- metadata views (always the *current* snapshot) --------------------
@@ -177,6 +185,9 @@ class SQLEngine:
             # epoch keeps one uniform invalidation story and bounds how
             # long pre-change statements stay warm.
             self._parse_cache.clear()
+            # Result-cache keys embed the epoch, so stale entries could
+            # never *hit* again — clearing reclaims their memory at once.
+            self.result_cache.clear("plan epoch advanced")
 
     def attach_observability(self, observability: "Observability") -> None:
         """Wire tracing, stage metrics and pool gauges into this engine."""
@@ -334,12 +345,97 @@ class SQLEngine:
         hint_values: Sequence[Any] | None = None,
         trace: "Trace | None" = None,
     ) -> EngineResult:
-        observability = self.observability
         # Pin ONE metadata snapshot for this statement's whole lifetime:
         # every stage below reads rule/sources/features/dialects from
         # ``snap``, so a concurrent DistSQL mutation (which swaps in the
         # *next* snapshot) can never be half-observed.
         snap = self.metadata.current()
+
+        cache_key = self._result_cache_key(sql, params, held_connections,
+                                           hint_values, snap)
+        if cache_key is None:
+            return self._execute_uncached(
+                sql, params, held_connections, hint_values, trace, snap, None)
+        result_cache = self.result_cache
+        entry = result_cache.lookup(cache_key, session_token)
+        if entry is not None:
+            return self._cached_result(entry, trace)
+        leader, event = result_cache.lease(cache_key)
+        if leader:
+            try:
+                return self._execute_uncached(
+                    sql, params, held_connections, hint_values, trace, snap,
+                    cache_key)
+            finally:
+                result_cache.release(cache_key)
+        # Single-flight follower: give the in-flight leader a bounded
+        # chance to populate the entry, then fall through and execute
+        # independently (still eligible to store) if it did not.
+        event.wait(result_cache.single_flight_timeout)
+        entry = result_cache.lookup(cache_key, session_token)
+        if entry is not None:
+            return self._cached_result(entry, trace)
+        return self._execute_uncached(
+            sql, params, held_connections, hint_values, trace, snap, cache_key)
+
+    def _result_cache_key(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any],
+        held_connections: Mapping[str, Connection] | None,
+        hint_values: Sequence[Any] | None,
+        snap: MetadataContext,
+    ) -> tuple | None:
+        """Cache key for this call, or None when it must not use the cache.
+
+        Eligible statements are plain-text SELECTs outside transactions
+        and hints, on a feature set that never mutates ASTs (the same
+        ``plan_cache_safe`` contract the plan cache relies on), from a
+        session not pinned to primaries.
+        """
+        if (
+            not self.result_cache.enabled
+            or held_connections is not None
+            or hint_values is not None
+            or not isinstance(sql, str)
+            or not snap.plan_cache_safe
+            or primary_pinned()
+        ):
+            return None
+        if not sql.lstrip()[:6].upper().startswith("SELECT"):
+            return None
+        try:
+            key = (sql, tuple(params), snap.plan_epoch)
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _cached_result(self, entry: Any, trace: "Trace | None") -> EngineResult:
+        """Serve a guarded cache hit: no routing, no storage work."""
+        result = EngineResult(
+            route_type="result_cache", unit_count=0, merger_kind="cached")
+        result.merged = MergedResult(
+            columns=list(entry.columns), rows=iter(entry.rows),
+            merger_kind="cached")
+        if trace is not None:
+            trace.root.add_event("result_cache_hit")
+        if self.observability is not None:
+            self.observability.on_statement(
+                {}, "result_cache", 0, error=False, weight=0)
+        return result
+
+    def _execute_uncached(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any],
+        held_connections: Mapping[str, Connection] | None,
+        hint_values: Sequence[Any] | None,
+        trace: "Trace | None",
+        snap: MetadataContext,
+        cache_key: tuple | None,
+    ) -> EngineResult:
+        observability = self.observability
         # Histogram sampling: unsampled statements (weight 0) skip the
         # perf_counter calls and stage dict entirely; counters stay exact.
         # A forced TRACE of an unsampled statement records unweighted.
@@ -371,7 +467,8 @@ class SQLEngine:
                 plan.hits += 1
                 try:
                     return self._execute_plan(
-                        plan, params, held_connections, trace, stages, timed, weight, snap
+                        plan, params, held_connections, trace, stages, timed,
+                        weight, snap, cache_key,
                     )
                 except _PlanRouteError as exc:
                     # The route template proved unusable at bind time (e.g.
@@ -497,6 +594,7 @@ class SQLEngine:
         return self._run_units(
             context, route_result.route_type, units, rewrite_result.merge_spec,
             held_connections, trace, stages, timed, weight, snap,
+            cache_key=cache_key,
         )
 
     # ------------------------------------------------------------------
@@ -693,6 +791,7 @@ class SQLEngine:
         timed: bool,
         weight: int,
         snap: MetadataContext,
+        cache_key: tuple | None = None,
     ) -> EngineResult:
         """Hot path: bind parameters into a compiled plan.
 
@@ -733,6 +832,7 @@ class SQLEngine:
         return self._run_units(
             context, route_result.route_type, units, merge_spec,
             held_connections, trace, stages, timed, weight, snap,
+            cache_key=cache_key,
         )
 
     def _run_units(
@@ -747,10 +847,21 @@ class SQLEngine:
         timed: bool,
         weight: int,
         snap: MetadataContext,
+        cache_key: tuple | None = None,
     ) -> EngineResult:
         """Shared execute+merge tail of both the slow and plan-hit paths."""
         observability = self.observability
         is_query = isinstance(context.statement, ast.SelectStatement)
+        # Result-cache guards must be captured BEFORE the storage read so
+        # a write racing the read bumps a captured version and the store
+        # below is rejected (validated cache-aside).
+        cache_capture = None
+        if (
+            cache_key is not None
+            and is_query
+            and not getattr(context.statement, "for_update", False)
+        ):
+            cache_capture = self._capture_cache_guards(context, units, snap)
         # Workload analytics piggyback on the same sampling decision as the
         # stage histograms: unsampled statements (weight 0) pay one branch.
         workload = observability.workload if observability is not None else None
@@ -832,7 +943,69 @@ class SQLEngine:
                 result.merged.rows = _counting(result.merged.rows, row_sink)
         for feature in snap.features:
             feature.on_result(result, context)
+        if (
+            cache_capture is not None
+            and result.merged is not None
+            and not result.partial_results
+        ):
+            self._store_cached_result(cache_key, result, cache_capture)
         return result
+
+    def _capture_cache_guards(
+        self,
+        context: StatementContext,
+        units: list[ExecutionUnit],
+        snap: MetadataContext,
+    ) -> tuple[list[tuple], list[tuple]] | None:
+        """(data-version guards, causal guards) for a cacheable read.
+
+        One guard per (unit, actual table); replica members are brought
+        current first (the same lazy apply the connection layer performs)
+        so pending-but-due replication never poisons the captured
+        versions. Returns None when any target is unresolvable.
+        """
+        guards: list[tuple] = []
+        causal: list[tuple] = []
+        for unit in units:
+            source = snap.data_sources.get(unit.data_source)
+            if source is None:
+                return None
+            replica = getattr(source, "replica", None)
+            group = getattr(source, "replica_group", None)
+            if replica is not None:
+                replica.apply_due()
+                causal.append((replica.log.group, replica.applied_lsn))
+            elif group is not None:
+                causal.append((group.name, group.last_lsn()))
+            database = source.database
+            for logic in context.logic_tables:
+                actual = unit.unit.actual_table(logic)
+                guards.append(
+                    (database, actual, database.data_version(actual)))
+        return guards, causal
+
+    def _store_cached_result(
+        self,
+        cache_key: tuple | None,
+        result: EngineResult,
+        cache_capture: tuple[list[tuple], list[tuple]],
+    ) -> None:
+        """Materialize a small result and store it under its guards.
+
+        Drains up to ``max_rows + 1`` rows through the merged iterator
+        (wrappers included, so pooled connections release and row sinks
+        fire); oversized results pass through untouched via chaining.
+        """
+        result_cache = self.result_cache
+        merged = result.merged
+        assert merged is not None
+        rows_iter = iter(merged.rows)
+        buffered = list(itertools.islice(rows_iter, result_cache.max_rows + 1))
+        if len(buffered) <= result_cache.max_rows:
+            guards, causal = cache_capture
+            result_cache.store(
+                cache_key, merged.columns, buffered, guards, causal)
+        merged.rows = itertools.chain(buffered, rows_iter)
 
 
 class _PlanRouteError(Exception):

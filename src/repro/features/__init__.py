@@ -14,6 +14,8 @@ from .encrypt import (
     register_encryptor,
 )
 from .rwsplit import (
+    BoundedStalenessLoadBalancer,
+    LeastLagLoadBalancer,
     LoadBalancer,
     RandomLoadBalancer,
     ReadWriteGroup,
@@ -32,6 +34,8 @@ __all__ = [
     "RoundRobinLoadBalancer",
     "RandomLoadBalancer",
     "WeightedLoadBalancer",
+    "LeastLagLoadBalancer",
+    "BoundedStalenessLoadBalancer",
     "EncryptFeature",
     "EncryptRule",
     "EncryptColumn",

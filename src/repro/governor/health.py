@@ -125,14 +125,25 @@ class HealthDetector:
         for group in self.groups.values():
             if group.primary != name:
                 continue
-            candidates = [r for r in group.replicas if self.is_up(r)]
-            if not candidates:
-                continue
-            new_primary = candidates[0]
-            old_primary = group.primary
-            group.replicas = [r for r in group.replicas if r != new_primary]
-            group.replicas.append(old_primary)
-            group.primary = new_primary
+            promotion = self._storage_promote(group)
+            if promotion is None:
+                # Legacy (name-only) groups: promote the first healthy
+                # replica and keep the old primary listed so a revived
+                # source serves reads again.
+                candidates = [r for r in group.replicas if self.is_up(r)]
+                if not candidates:
+                    continue
+                new_primary = candidates[0]
+                old_primary = group.primary
+                group.replicas = [r for r in group.replicas if r != new_primary]
+                group.replicas.append(old_primary)
+                group.primary = new_primary
+            elif promotion is False:
+                continue  # storage group but nothing promotable yet
+            else:
+                old_primary, new_primary = promotion
+                group.replicas = [r for r in group.replicas if r != new_primary]
+                group.primary = new_primary
             self.config.store_rule(
                 "readwrite_splitting",
                 group.name,
@@ -151,6 +162,32 @@ class HealthDetector:
             )
             for listener in self.failover_listeners:
                 listener(group.name, old_primary, new_primary)
+
+    def _storage_promote(self, group: ReplicaGroup):
+        """Promote through the storage replica group when one is wired.
+
+        The storage layer fences the dead primary (writes to it fail
+        fast), picks the most-caught-up replica by applied LSN, and
+        drains the durable log into it before installing it — so no
+        acknowledged write is lost, unlike the name-only path which has
+        no replication state to consult. The fenced old primary is NOT
+        re-added as a replica: its database is frozen at failover time.
+
+        Returns ``None`` when the group is not storage-backed (caller
+        takes the legacy path), ``False`` when it is but no replica is
+        promotable, or ``(old_primary, new_primary)`` on success.
+        """
+        from ..exceptions import DataSourceUnavailableError
+
+        source = self.data_sources.get(group.primary)
+        storage_group = getattr(source, "replica_group", None)
+        if storage_group is None or getattr(storage_group, "primary", None) is not source:
+            return None
+        try:
+            event = storage_group.promote(is_up=self.is_up)
+        except DataSourceUnavailableError:
+            return False
+        return event.old_primary, event.new_primary
 
 
 def _default_probe(source: DataSource) -> bool:

@@ -50,6 +50,7 @@ KNOWN_VARIABLES = frozenset(
         "slow_query_threshold_ms",
         "plan_cache",
         "workload_analytics",
+        "result_cache",
     }
 )
 

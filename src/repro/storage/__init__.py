@@ -14,6 +14,15 @@ from .faults import FaultInjector, FaultKind, FaultProfile
 from .latency import LatencyModel
 from .plans import StoragePlan, StoragePlanCache, execute_planned
 from .pool import ConnectionPool
+from .replication import (
+    PromotionEvent,
+    ReplicaGroup,
+    ReplicaState,
+    ReplicationLog,
+    pin_primary,
+    reset_session,
+    session_token,
+)
 from .schema import Column, TableSchema
 from .table import Table
 from .transaction import Transaction, TxnStatus, commit_prepared, rollback_prepared
@@ -40,6 +49,13 @@ __all__ = [
     "commit_prepared",
     "rollback_prepared",
     "LatencyModel",
+    "ReplicaGroup",
+    "ReplicaState",
+    "ReplicationLog",
+    "PromotionEvent",
+    "pin_primary",
+    "reset_session",
+    "session_token",
     "FaultInjector",
     "FaultKind",
     "FaultProfile",

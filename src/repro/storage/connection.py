@@ -18,7 +18,12 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
-from ..exceptions import ConnectionClosedError, ConnectionDropError, TransactionError
+from ..exceptions import (
+    ConnectionClosedError,
+    ConnectionDropError,
+    DataSourceUnavailableError,
+    TransactionError,
+)
 from ..sql import ast, parse
 from .executor import QueryResult
 from .latency import pay
@@ -159,6 +164,7 @@ class Connection:
             self.rollback()
             return QueryResult(rowcount=0)
 
+        self._admit(stmt)
         try:
             self.database.maybe_fail("statement")
         except ConnectionDropError:
@@ -206,6 +212,29 @@ class Connection:
         if not defer_pay:
             self._pay(result, span)
         return result
+
+    def _admit(self, stmt: ast.Statement) -> None:
+        """Replica-group role checks + the storage statement counter.
+
+        On a read replica, first lazily apply every replication-log record
+        whose lag has elapsed, so this statement sees exactly the
+        snapshot its staleness bound allows. Writes are rejected on
+        replicas and on fenced (failed-over) primaries.
+        """
+        source = self.data_source
+        replica = source.replica
+        if replica is not None:
+            replica.apply_due()
+        if stmt.category in ("DML", "DDL"):
+            if source.fenced:
+                raise DataSourceUnavailableError(
+                    f"data source {source.name!r} is fenced (failed-over primary)"
+                )
+            if replica is not None:
+                raise DataSourceUnavailableError(
+                    f"data source {source.name!r} is a read replica"
+                )
+        self.database.statements_executed += 1
 
     def _pay(self, result: QueryResult, span: Any) -> None:
         """Pay one statement's simulated I/O cost (sleep)."""
@@ -336,6 +365,7 @@ class Connection:
                 rowcount=total if counted else -1, cost=result.cost,
                 written_table=result.written_table,
             )
+        self._admit(stmt)
         try:
             self.database.maybe_fail("statement")
         except ConnectionDropError:

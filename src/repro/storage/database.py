@@ -39,6 +39,9 @@ class Database:
         #: the versions they were built against. Entries are never removed
         #: (DROP leaves the counter behind) so DROP + CREATE invalidates.
         self._schema_versions: dict[str, int] = {}
+        #: per-table monotonic data versions (see data_version below);
+        #: keys are lower-cased table names.
+        self._data_versions: dict[str, int] = {}
         #: compiled statement plans for this database (see .plans).
         self.plan_cache = StoragePlanCache()
         #: rows per chunk for vectorized plan pipelines; 1 degenerates to
@@ -47,6 +50,14 @@ class Database:
         #: optional probabilistic chaos source (see :mod:`repro.storage.faults`);
         #: set via ``DataSource.set_fault_injector`` and shared fleet-wide.
         self.fault_injector: Any | None = None
+        #: the group replication log when this database is a primary in a
+        #: :class:`repro.storage.replication.ReplicaGroup` (None otherwise).
+        #: Committed transactions and DDL publish records to it.
+        self.replication: Any | None = None
+        #: statements executed against this database (queries included);
+        #: the engine-level result cache's "zero storage work" claim is
+        #: asserted against this counter in tests.
+        self.statements_executed = 0
 
     # -- schema versions (compiled-plan invalidation) -----------------------
 
@@ -57,6 +68,22 @@ class Database:
         with self._lock:
             key = name.lower()
             self._schema_versions[key] = self._schema_versions.get(key, 0) + 1
+            self._data_versions[key] = self._data_versions.get(key, 0) + 1
+
+    # -- data versions (result-cache invalidation) --------------------------
+    #
+    # Bumped on every recorded row mutation (always under the database
+    # write lock) and on DDL. The engine-level result cache guards each
+    # entry with the (database, table, version) triples it read, so any
+    # write — from this engine, another runtime sharing the storage, or
+    # replication apply on a replica — invalidates by comparison.
+
+    def data_version(self, name: str) -> int:
+        return self._data_versions.get(name.lower(), 0)
+
+    def bump_data_version(self, name: str) -> None:
+        key = name.lower()
+        self._data_versions[key] = self._data_versions.get(key, 0) + 1
 
     # -- failure injection (tests / recovery experiments) ------------------
 
@@ -104,6 +131,10 @@ class Database:
             table = Table(schema)
             self._tables[key] = table
             self.bump_schema_version(key)
+            if self.replication is not None:
+                # Schemas are immutable after creation; sharing the object
+                # with replicas is safe.
+                self.replication.publish([("create_table", schema)])
             return table
 
     def create_table_from_ast(self, stmt: ast.CreateTableStatement) -> Table:
@@ -118,6 +149,8 @@ class Database:
                 raise TableNotFoundError(f"table {name!r} not found in {self.name}")
             del self._tables[key]
             self.bump_schema_version(key)
+            if self.replication is not None:
+                self.replication.publish([("drop_table", key)])
 
     def table(self, name: str) -> Table:
         try:

@@ -49,6 +49,14 @@ class DataSource:
         # Lock used by the automatic execution engine for atomic multi-
         # connection acquisition (deadlock avoidance, Section VI-D).
         self.acquisition_lock = threading.Lock()
+        # -- replica-group role (see repro.storage.replication) --------
+        #: True once a dead primary is fenced during promotion: further
+        #: DML/DDL raises DataSourceUnavailableError.
+        self.fenced = False
+        #: ReplicaState when this source serves as a read replica.
+        self.replica = None
+        #: ReplicaGroup this source belongs to (as primary or replica).
+        self.replica_group = None
 
     # -- fault injection ---------------------------------------------------
 

@@ -71,11 +71,18 @@ def execute_statement(
         table = database.table(stmt.table.name)
         table.create_index(stmt.index_name, stmt.columns, unique=stmt.unique)
         database.bump_schema_version(stmt.table.name)
+        if database.replication is not None:
+            database.replication.publish([
+                ("create_index", table.name, stmt.index_name,
+                 tuple(stmt.columns), stmt.unique),
+            ])
         return QueryResult(rowcount=0)
     if isinstance(stmt, ast.TruncateStatement):
         table = database.table(stmt.table.name)
         count = table.truncate()
         database.bump_schema_version(stmt.table.name)
+        if database.replication is not None:
+            database.replication.publish([("truncate", table.name)])
         return QueryResult(rowcount=count)
     raise UnsupportedSQLError(f"storage engine cannot execute {type(stmt).__name__}")
 

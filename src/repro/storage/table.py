@@ -226,6 +226,42 @@ class Table:
         self._index_insert(row_id, row)
         self._rows[row_id] = row
 
+    def raw_put(self, row_id: int, row: dict[str, Any]) -> None:
+        """Install a replicated row image under its primary-side row id.
+
+        Replace-or-insert like :meth:`raw_restore`, but also advances
+        ``_next_row_id`` and the auto-increment counter so a replica
+        promoted to primary continues both sequences without collisions.
+        """
+        current = self._rows.get(row_id)
+        if current is not None:
+            self._index_remove(row_id, current)
+        try:
+            self._index_insert(row_id, row)
+        except DuplicateKeyError:
+            if current is not None:
+                self._index_insert(row_id, current)  # restore
+            raise
+        self._rows[row_id] = row
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        for col in self.schema.columns:
+            if col.auto_increment and isinstance(row.get(col.name), int):
+                self._auto_value = max(self._auto_value, row[col.name])
+
+    def conflicting_row_ids(self, row: dict[str, Any]) -> set[int]:
+        """Row ids holding any unique key the given row image claims
+        (replication uses this to evict stale occupants on re-apply)."""
+        ids: set[int] = set()
+        for index in self._hash_indexes.values():
+            if not index.unique:
+                continue
+            try:
+                key = index.key_of(row)
+            except KeyError:
+                continue
+            ids.update(index._map.get(key, ()))
+        return ids
+
     # ------------------------------------------------------------------
     # Secondary index DDL
     # ------------------------------------------------------------------

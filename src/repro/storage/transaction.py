@@ -48,20 +48,38 @@ class Transaction:
         self.status = TxnStatus.ACTIVE
         self._undo: list[_UndoEntry] = []
         self._lock = threading.Lock()
+        #: rows touched by this transaction, recorded only when the
+        #: database is a replication primary: at commit the *current*
+        #: images of these rows are published to the group log (see
+        #: :mod:`repro.storage.replication` on why images-at-commit make
+        #: replica application convergent under publish reordering).
+        self._touched: dict[tuple[int, int], tuple[Table, int]] | None = (
+            {} if database.replication is not None else None
+        )
+
+    def _touch(self, table: Table, row_id: int) -> None:
+        if self._touched is not None:
+            self._touched[(id(table), row_id)] = (table, row_id)
 
     # -- undo recording (called by the executor) -------------------------
 
     def record_insert(self, table: Table, row_id: int) -> None:
         with self._lock:
             self._undo.append(_UndoEntry("insert", table, row_id))
+            self._touch(table, row_id)
+        self.database.bump_data_version(table.name)
 
     def record_update(self, table: Table, row_id: int, old_row: dict[str, Any]) -> None:
         with self._lock:
             self._undo.append(_UndoEntry("update", table, row_id, old_row))
+            self._touch(table, row_id)
+        self.database.bump_data_version(table.name)
 
     def record_delete(self, table: Table, row_id: int, old_row: dict[str, Any]) -> None:
         with self._lock:
             self._undo.append(_UndoEntry("delete", table, row_id, old_row))
+            self._touch(table, row_id)
+        self.database.bump_data_version(table.name)
 
     @property
     def mutation_count(self) -> int:
@@ -83,6 +101,9 @@ class Transaction:
         self.database.latency.charge_commit()
         self._undo.clear()
         self.status = TxnStatus.COMMITTED
+        if self._touched:
+            publish_row_images(self.database, self._touched.values())
+            self._touched = None
 
     def rollback(self) -> None:
         if self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
@@ -96,6 +117,7 @@ class Transaction:
                 elif entry.kind == "delete":
                     entry.table.raw_reinsert(entry.row_id, entry.row)  # type: ignore[arg-type]
         self._undo.clear()
+        self._touched = None
         self.status = TxnStatus.ABORTED
 
     # -- 2PC (XA) -------------------------------------------------------------
@@ -116,6 +138,31 @@ class Transaction:
             )
 
 
+def publish_row_images(database: "Database",
+                       touched: "Any") -> None:
+    """Publish current images of touched rows to the replication log.
+
+    Re-reads each row under the write lock so the published image is the
+    committed state *now* (convergent under concurrent-commit publish
+    reordering); deletes within the batch are emitted before puts so a
+    row that moved row ids never transiently violates a unique index on
+    the replica.
+    """
+    replication = database.replication
+    if replication is None:
+        return
+    deletes: list[tuple] = []
+    puts: list[tuple] = []
+    with database.write_lock():
+        for table, row_id in touched:
+            row = table._rows.get(row_id)
+            if row is None:
+                deletes.append(("del", table.name, row_id))
+            else:
+                puts.append(("put", table.name, row_id, dict(row)))
+    replication.publish(deletes + puts)
+
+
 def replay_undo(database: "Database", entries: list[_UndoEntry]) -> None:
     """Apply detached undo entries in reverse (Seata-AT compensation)."""
     with database.write_lock():
@@ -126,6 +173,11 @@ def replay_undo(database: "Database", entries: list[_UndoEntry]) -> None:
                 entry.table.raw_restore(entry.row_id, entry.row)  # type: ignore[arg-type]
             elif entry.kind == "delete":
                 entry.table.raw_reinsert(entry.row_id, entry.row)  # type: ignore[arg-type]
+    if database.replication is not None and entries:
+        publish_row_images(
+            database, {(id(e.table), e.row_id): (e.table, e.row_id)
+                       for e in entries}.values(),
+        )
 
 
 def commit_prepared(database: "Database", xid: str) -> None:
