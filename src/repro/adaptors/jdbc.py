@@ -15,8 +15,8 @@ from typing import Any, Iterator, Sequence
 from ..distsql import execute_distsql, is_distsql
 from ..engine.pipeline import EngineResult
 from ..exceptions import ConnectionClosedError, TransactionError, UnsupportedSQLError
+from ..session import SessionContext, activate
 from ..sql import ast, parse
-from ..storage.replication import pin_primary
 from ..transaction import DistributedTransaction
 from .runtime import ShardingRuntime
 
@@ -65,10 +65,23 @@ class _PinnedConnections:
 
 
 class ShardingConnection:
-    """A logical connection to the sharded fleet."""
+    """A logical connection to the sharded fleet.
 
-    def __init__(self, runtime: ShardingRuntime):
+    Owns one :class:`~repro.session.SessionContext`: causal replication
+    tokens, primary pinning and SHOW SESSIONS bookkeeping are scoped to
+    the *connection*, not to whichever OS thread happens to run its
+    statements. Every entry point activates the session, so the same
+    connection driven from a proxy worker pool behaves identically to one
+    driven by a dedicated thread.
+    """
+
+    def __init__(self, runtime: ShardingRuntime,
+                 session: SessionContext | None = None):
         self.runtime = runtime
+        self.session = (
+            session if session is not None else SessionContext(kind="jdbc")
+        )
+        runtime.sessions.register(self.session)
         self._transaction: DistributedTransaction | None = None
         self._closed = False
         self.hint_values: list[Any] = []
@@ -79,9 +92,12 @@ class ShardingConnection:
         if self._closed:
             return
         if self._transaction is not None and not self._transaction.finished:
-            self._transaction.rollback()
+            with activate(self.session):
+                self._transaction.rollback()
         self._transaction = None
         self._closed = True
+        self.session.in_transaction = False
+        self.runtime.sessions.unregister(self.session)
 
     def __enter__(self) -> "ShardingConnection":
         return self
@@ -104,22 +120,27 @@ class ShardingConnection:
         if self.in_transaction:
             raise TransactionError("transaction already in progress")
         self._transaction = self.runtime.transaction_manager.begin()
+        self.session.in_transaction = True
 
     def commit(self) -> None:
         self._check_open()
         if self._transaction is not None:
             try:
-                self._transaction.commit()
+                with activate(self.session):
+                    self._transaction.commit()
             finally:
                 self._transaction = None
+                self.session.in_transaction = False
 
     def rollback(self) -> None:
         self._check_open()
         if self._transaction is not None:
             try:
-                self._transaction.rollback()
+                with activate(self.session):
+                    self._transaction.rollback()
             finally:
                 self._transaction = None
+                self.session.in_transaction = False
 
     def set_transaction_type(self, type_name: str) -> None:
         """Per-deployment transaction type switch (DistSQL RAL shortcut)."""
@@ -148,10 +169,11 @@ class ShardingConnection:
             with conn.primary():
                 conn.execute("SELECT ...")   # never served by a replica
 
-        Pins the calling session: read-write splitting sends reads to the
-        group primary and the result cache is bypassed for the block.
+        Pins this connection's session: read-write splitting sends reads
+        to the group primary and the result cache is bypassed for the
+        block.
         """
-        return pin_primary()
+        return self.session.pin()
 
     # -- DAL -----------------------------------------------------------------
 
@@ -191,6 +213,16 @@ class ShardingConnection:
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ShardingResult:
         self._check_open()
+        # Resume this connection's session for the whole statement: any
+        # thread may drive this connection (proxy workers do), and causal
+        # tokens / pinning / guards must land on the session, not the
+        # thread.
+        with activate(self.session):
+            self.session.statements += 1
+            self.session.last_sql = sql
+            return self._execute_in_session(sql, params)
+
+    def _execute_in_session(self, sql: str, params: Sequence[Any]) -> ShardingResult:
         if is_distsql(sql):
             result = execute_distsql(sql, self.runtime)
             return ShardingResult(result.columns, iter(result.rows), message=result.message)
@@ -222,7 +254,7 @@ class ShardingConnection:
             # Reads inside an explicit transaction must observe its own
             # uncommitted writes: pin the session so read-write splitting
             # keeps every statement on the primary's pinned connection.
-            with pin_primary():
+            with self.session.pin():
                 engine_result = self.runtime.engine.execute(
                     sql, params,
                     held_connections=_PinnedConnections(self._transaction),
@@ -259,14 +291,18 @@ class ShardingConnection:
                     "execute_pipeline only accepts plain SQL statements; "
                     f"route {verb or sql!r} through execute()"
                 )
-        if self.in_transaction:
-            with pin_primary():
+        with activate(self.session):
+            self.session.statements += len(statements)
+            if statements:
+                self.session.last_sql = statements[-1][0]
+            if self.in_transaction:
+                with self.session.pin():
+                    engine_results = self.runtime.engine.execute_pipeline(
+                        list(statements),
+                        held_connections=_PinnedConnections(self._transaction))
+            else:
                 engine_results = self.runtime.engine.execute_pipeline(
-                    list(statements),
-                    held_connections=_PinnedConnections(self._transaction))
-        else:
-            engine_results = self.runtime.engine.execute_pipeline(
-                list(statements), held_connections=None)
+                    list(statements), held_connections=None)
         return [self._wrap(engine_result) for engine_result in engine_results]
 
     def _wrap(self, engine_result: EngineResult) -> ShardingResult:

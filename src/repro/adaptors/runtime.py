@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import itertools
 import json
-import threading
 from typing import Any, Callable, Mapping, Sequence
 
 from ..engine import Feature, ResiliencePolicy, SQLEngine
@@ -32,6 +31,7 @@ from ..features import ReadWriteGroup, ReadWriteSplittingFeature
 from ..governor import ConfigCenter
 from ..metadata import KNOWN_VARIABLES, ContextManager
 from ..observability import Observability
+from ..session import SessionRegistry, current_session
 from ..sharding import ShardingRule, TableRule
 from ..sql import parse
 from ..sql.dialects import get_dialect
@@ -99,7 +99,9 @@ class ShardingRuntime:
         self._cluster_session = None
         self._cluster_unwatch: list[Callable[[], None]] = []
         self._seen_rules: dict[str, dict[str, str]] = {}
-        self._local = threading.local()
+        #: live logical sessions (JDBC connections + proxy clients) for
+        #: SHOW SESSIONS and the proxy's session metrics
+        self.sessions = SessionRegistry()
         for name, source in self.metadata.live_sources.items():
             self.config_center.register_data_source(name, {"dialect": source.dialect.name})
 
@@ -442,12 +444,18 @@ class ShardingRuntime:
             self._cluster_session = None
 
     def _publishing(self):
-        """Mark this thread as writing to the Governor, so synchronously
-        fired watch events don't loop back into this runtime."""
-        return _PublishGuard(self._local)
+        """Mark the current session as writing to the Governor, so
+        synchronously fired watch events don't loop back into this
+        runtime. Session-scoped (keyed by this runtime object) rather
+        than a thread-local: correct even when the write happens on a
+        proxy worker executing some client session's DistSQL."""
+        return current_session().guard((self, "publishing"))
 
     def _is_self_event(self) -> bool:
-        return self.metadata.in_mutation or getattr(self._local, "publishing", 0) > 0
+        return (
+            self.metadata.in_mutation
+            or current_session().guard_depth((self, "publishing")) > 0
+        )
 
     @staticmethod
     def _fingerprint(config: dict[str, Any]) -> str:
@@ -500,17 +508,3 @@ class ShardingRuntime:
             pass  # malformed peer value; keep the local setting
 
 
-class _PublishGuard:
-    """Context manager flagging 'this thread is publishing to the Governor'."""
-
-    __slots__ = ("_local",)
-
-    def __init__(self, local: threading.local):
-        self._local = local
-
-    def __enter__(self) -> "_PublishGuard":
-        self._local.publishing = getattr(self._local, "publishing", 0) + 1
-        return self
-
-    def __exit__(self, *exc: Any) -> None:
-        self._local.publishing -= 1

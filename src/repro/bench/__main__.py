@@ -7,6 +7,7 @@ under test and prints the paper-style row. Examples::
     python -m repro.bench --system ms --scenario point_select --duration 3
     python -m repro.bench --workload tpcc --system ssp --threads 4
     python -m repro.bench --system ssj --transaction-type XA
+    python -m repro.bench --proxy --connections 500 --duration 5
 """
 
 from __future__ import annotations
@@ -95,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-result-cache", action="store_true",
                         help="disable the engine result cache (on by default "
                              "for engine systems) for ablations")
+    parser.add_argument("--proxy", action="store_true",
+                        help="run the proxy-reactor concurrency benchmark "
+                             "instead of a workload: N concurrent sessions "
+                             "on a bounded server thread pool, with a "
+                             "read-your-writes check per operation")
+    parser.add_argument("--connections", type=int, default=200,
+                        help="concurrently-open proxy sessions (--proxy)")
+    parser.add_argument("--proxy-output", default="BENCH_proxy.json",
+                        help="where --proxy writes its JSON report")
     return parser
 
 
@@ -418,6 +428,11 @@ def build_system(args: argparse.Namespace, tables, broadcast=()):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.proxy:
+        from .proxy import run_proxy_bench
+
+        return run_proxy_bench(args)
 
     if args.workload == "sysbench":
         workload = SysbenchWorkload(SysbenchConfig(

@@ -480,6 +480,29 @@ def _show(stmt: p.ShowStatement, runtime: Runtime) -> DistSQLResult:
             rows=rows,
             message="no health detector attached" if detector is None else "OK",
         )
+    if stmt.subject == "sessions":
+        registry = getattr(runtime, "sessions", None)
+        rows = []
+        if registry is not None:
+            for info in registry.rows():
+                rows.append((
+                    info["id"],
+                    info["kind"],
+                    info["client"] or "-",
+                    info["age_s"],
+                    info["statements"],
+                    "yes" if info["in_transaction"] else "no",
+                    "yes" if info["pinned_primary"] else "no",
+                    info["causal_groups"],
+                    info["last_sql"] or "-",
+                ))
+        return DistSQLResult(
+            columns=["id", "kind", "client", "age_s", "statements",
+                     "in_transaction", "pinned_primary", "causal_groups",
+                     "last_sql"],
+            rows=rows,
+            message=f"{len(rows)} session(s)",
+        )
     raise DistSQLError(f"unknown SHOW subject {stmt.subject!r}")
 
 

@@ -215,6 +215,7 @@ _DIST_PREFIXES = (
     "SHOW READ",
     "SHOW REPLICATION",
     "SHOW RESULT",
+    "SHOW SESSIONS",
     "CLEAR PLAN",
     "CLEAR RESULT",
     "SET VARIABLE",
@@ -542,4 +543,6 @@ class _Parser:
         if self._accept_word("RESULT"):
             self._expect_word("CACHE")
             return ShowStatement(subject="result_cache")
+        if self._accept_word("SESSIONS"):
+            return ShowStatement(subject="sessions")
         raise DistSQLError(f"unsupported SHOW statement: {self.sql!r}")

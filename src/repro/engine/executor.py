@@ -50,6 +50,7 @@ from ..exceptions import (
     DeadlineExceededError,
     ExecutionError,
 )
+from ..session import activate, current_session
 from ..storage import Connection, DataSource
 from .merger import MaterializedResult, ShardResult
 from .resilience import BreakerRegistry, ResiliencePolicy
@@ -231,10 +232,21 @@ class ExecutionEngine:
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> "Future[Any]":
         """Run work on the engine's shared worker pool (e.g. federation
-        materialization fan-out)."""
+        materialization fan-out).
+
+        The submitting side's session is captured here and re-activated
+        on whichever pool thread runs ``fn``, so session state (causal
+        tokens, primary pinning, guards) survives the handoff.
+        """
         if self._closed:
             raise ExecutionError("execution engine is closed; rejecting new work")
-        return self._pool.submit(fn, *args, **kwargs)
+        session = current_session()
+
+        def run() -> Any:
+            with activate(session):
+                return fn(*args, **kwargs)
+
+        return self._pool.submit(run)
 
     def add_listener(self, listener: EventListener) -> None:
         self.listeners.append(listener)
@@ -1125,13 +1137,17 @@ class _StealScheduler:
     ``cancelled=True`` because the engine closed mid-flight.
     """
 
-    __slots__ = ("engine", "deques", "lock", "remaining", "done",
+    __slots__ = ("engine", "session", "deques", "lock", "remaining", "done",
                  "steals", "stolen_tasks")
 
     def __init__(self, engine: ExecutionEngine,
                  tasks: list[tuple[int, Callable[..., None]]]):
         workers = max(1, min(len(tasks), engine.fanout_workers))
         self.engine = engine
+        #: the statement's session, captured on the calling thread; helper
+        #: workers resume it so stolen tasks keep causal tokens, primary
+        #: pinning and transaction pinning attributed to the right session
+        self.session = current_session()
         self.deques: list[deque[Callable[..., None]]] = [
             deque() for _ in range(workers)
         ]
@@ -1150,12 +1166,21 @@ class _StealScheduler:
             return
         for index in range(1, len(self.deques)):
             try:
-                self.engine._pool.submit(self._work, index)
+                self.engine._pool.submit(self._helper_work, index)
             except RuntimeError:
                 # pool already shut down: worker 0 drains everything alone
                 break
         self._work(0)
         self.done.wait()
+
+    def _helper_work(self, me: int) -> None:
+        """Pool-thread entry: resume the statement's session, then work.
+
+        Worker 0 is the calling thread and is already in the session's
+        context; every helper crosses a thread boundary and must restore
+        it explicitly before touching any unit."""
+        with activate(self.session):
+            self._work(me)
 
     def _work(self, me: int) -> None:
         my = self.deques[me]

@@ -21,6 +21,7 @@ from ..sharding import ShardingRule
 from ..sql import ast, parse
 from ..sql.formatter import format_statement
 from ..storage import Connection, DataSource
+from ..session import current_session
 from ..storage.replication import primary_pinned, session_token
 from .context import StatementContext, build_context
 from .executor import ConnectionMode, ExecutionEngine, ExecutionResult
@@ -348,9 +349,29 @@ class SQLEngine:
         # Pin ONE metadata snapshot for this statement's whole lifetime:
         # every stage below reads rule/sources/features/dialects from
         # ``snap``, so a concurrent DistSQL mutation (which swaps in the
-        # *next* snapshot) can never be half-observed.
+        # *next* snapshot) can never be half-observed. The snapshot is
+        # also recorded on the session so any worker that continues this
+        # statement (steal/fan-out) can reach it, and SHOW SESSIONS can
+        # attribute in-flight statements to a metadata version.
         snap = self.metadata.current()
+        session = current_session()
+        prev_snapshot = session.snapshot
+        session.snapshot = snap
+        try:
+            return self._execute_pinned(
+                sql, params, held_connections, hint_values, trace, snap)
+        finally:
+            session.snapshot = prev_snapshot
 
+    def _execute_pinned(
+        self,
+        sql: str | ast.Statement,
+        params: Sequence[Any],
+        held_connections: Mapping[str, Connection] | None,
+        hint_values: Sequence[Any] | None,
+        trace: "Trace | None",
+        snap: MetadataContext,
+    ) -> EngineResult:
         cache_key = self._result_cache_key(sql, params, held_connections,
                                            hint_values, snap)
         if cache_key is None:

@@ -169,3 +169,12 @@ class ThrottledError(ShardingSphereError):
 
 class ProtocolError(ShardingSphereError):
     """Wire-protocol framing or handshake failure."""
+
+
+class ServerBusyError(ExecutionError):
+    """The proxy's admission queue is full (backpressure, not failure).
+
+    Deliberately retryable load-leveling: the server sheds the request
+    with this response instead of growing its queue or spawning threads;
+    clients back off and retry.
+    """

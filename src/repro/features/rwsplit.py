@@ -33,11 +33,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..engine.context import StatementContext
-from ..engine.pipeline import EngineResult, Feature
+from ..engine.pipeline import Feature
 from ..engine.rewriter import ExecutionUnit
 from ..exceptions import ShardingConfigError
 from ..sql import ast
-from ..storage.replication import note_write, primary_pinned, session_token
+from ..storage.replication import primary_pinned, session_token
 
 
 class LoadBalancer:
@@ -235,17 +235,9 @@ class ReadWriteSplittingFeature(Feature):
             unit.data_source = target
             unit.unit.data_source = target
 
-    def on_result(self, result: EngineResult, context: StatementContext) -> None:
-        # Causal-token belt and braces: single-unit writes commit on the
-        # calling thread and stamp the session inside publish(), but
-        # fan-out writes run on executor workers whose thread-local
-        # session is not the caller's. Stamp the group's newest LSN here,
-        # on the caller thread, so read-your-writes also holds for
-        # multi-shard writes.
-        if result.is_query:
-            return
-        touched = {u.data_source for u in result.units}
-        for group in self.groups.values():
-            replication = group.replication
-            if replication is not None and group.primary in touched:
-                note_write(replication.name, replication.last_lsn())
+    # Note: no post-hoc causal stamping is needed for fan-out writes.
+    # Executor workers resume the statement's SessionContext before they
+    # commit, so ``publish()`` stamps the *right* session's token exactly
+    # (the old thread-local design needed an over-approximating
+    # last-LSN stamp here, which could needlessly pin readers to the
+    # primary after unrelated sessions' commits).

@@ -33,6 +33,7 @@ from types import MappingProxyType
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from .exceptions import ShardingConfigError
+from .session import current_session
 from .sharding import ShardingRule
 
 if TYPE_CHECKING:
@@ -223,7 +224,6 @@ class ContextManager:
             data_sources if isinstance(data_sources, dict) else dict(data_sources or {})
         )
         self._lock = threading.RLock()
-        self._local = threading.local()
         self._listeners: list[MetadataListener] = []
         self.config_center = config_center
         self._current = MetadataContext(
@@ -248,13 +248,16 @@ class ContextManager:
 
     @property
     def in_mutation(self) -> bool:
-        """True while *this thread* is inside :meth:`mutate`.
+        """True while *this session* is inside :meth:`mutate`.
 
         The registry fires watch callbacks synchronously on the writer's
         thread, so cluster watchers use this to skip events caused by
-        their own runtime's mutations.
+        their own runtime's mutations. The guard lives on the session
+        (keyed by this manager object), not a thread-local, so mutations
+        triggered from proxy workers attribute to the right session and
+        the flag survives explicit session handoff.
         """
-        return getattr(self._local, "depth", 0) > 0
+        return current_session().guard_depth(self) > 0
 
     # -- subscription ------------------------------------------------------
 
@@ -279,8 +282,8 @@ class ContextManager:
         current snapshot untouched (drafts are private until the swap).
         """
         with self._lock:
-            depth = getattr(self._local, "depth", 0)
-            self._local.depth = depth + 1
+            session = current_session()
+            session.enter_guard(self)
             try:
                 base = self._current
                 draft = _Draft(base)
@@ -293,7 +296,7 @@ class ContextManager:
                 for listener in list(self._listeners):
                     listener(base, new)
             finally:
-                self._local.depth = depth
+                session.exit_guard(self)
         return result
 
     def _sync_live_sources(self, new: MetadataContext) -> None:

@@ -11,7 +11,7 @@ import socket
 import threading
 from typing import Any, Sequence
 
-from ..exceptions import ExecutionError, ProtocolError
+from ..exceptions import ExecutionError, ProtocolError, ServerBusyError
 from .message import PacketType, read_packet, send_packet
 
 
@@ -51,17 +51,36 @@ class ProxyResult:
 
 
 class ProxyClient:
-    """One client session against a ShardingSphere-Proxy server."""
+    """One client session against a ShardingSphere-Proxy server.
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 5.0):
+    ``timeout`` bounds every socket operation after connect: a
+    half-closed or wedged peer surfaces as a :class:`ProtocolError`
+    instead of hanging the caller forever. Any framing/socket failure
+    marks the client *broken* — the stream position is unknowable, so
+    further use raises instead of desynchronizing.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0,
+                 timeout: float | None = 30.0):
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock.settimeout(None)
+        self._sock.settimeout(timeout)
+        self.timeout = timeout
         self._lock = threading.Lock()
         self._closed = False
-        send_packet(self._sock, PacketType.HANDSHAKE, {"client": "repro-driver"})
-        packet_type, body = read_packet(self._sock)
+        self._broken = False
+        try:
+            send_packet(self._sock, PacketType.HANDSHAKE, {"client": "repro-driver"})
+            packet_type, body = read_packet(self._sock)
+        except socket.timeout:
+            self._sock.close()
+            raise ProtocolError(
+                f"handshake timed out after {timeout}s") from None
+        except OSError as exc:
+            self._sock.close()
+            raise ProtocolError(f"handshake failed: {exc}") from exc
         if packet_type is not PacketType.HANDSHAKE_OK:
+            self._sock.close()
             raise ProtocolError(f"handshake failed: {body}")
         self.server_info = body
 
@@ -91,33 +110,64 @@ class ProxyClient:
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ProxyResult:
         if self._closed:
             raise ProtocolError("client is closed")
+        if self._broken:
+            raise ProtocolError(
+                "connection is broken (a previous request failed mid-frame); "
+                "open a new client")
         with self._lock:
-            send_packet(self._sock, PacketType.QUERY, {"sql": sql, "params": list(params)})
+            try:
+                return self._execute_locked(sql, params)
+            except socket.timeout:
+                # the stream position is now unknown: poison the client
+                self._broken = True
+                raise ProtocolError(
+                    f"timed out after {self.timeout}s waiting for the server "
+                    f"(half-closed peer?)") from None
+            except ProtocolError:
+                self._broken = True
+                raise
+            except OSError as exc:
+                self._broken = True
+                raise ProtocolError(f"connection failed mid-request: {exc}") from exc
+
+    def _execute_locked(self, sql: str, params: Sequence[Any]) -> ProxyResult:
+        send_packet(self._sock, PacketType.QUERY, {"sql": sql, "params": list(params)})
+        packet_type, body = read_packet(self._sock)
+        if packet_type is PacketType.ERROR:
+            raise self._server_error(body)
+        if packet_type is PacketType.OK:
+            return ProxyResult(
+                [], [],
+                rowcount=body.get("rowcount", -1),
+                message=body.get("message"),
+                generated_keys=body.get("generated_keys"),
+            )
+        if packet_type is not PacketType.RESULT_HEADER:
+            raise ProtocolError(f"unexpected packet {packet_type.name}")
+        columns = body["columns"]
+        rows: list[tuple[Any, ...]] = []
+        while True:
             packet_type, body = read_packet(self._sock)
-            if packet_type is PacketType.ERROR:
-                raise ExecutionError(f"proxy error: {body.get('message')}")
-            if packet_type is PacketType.OK:
-                return ProxyResult(
-                    [], [],
-                    rowcount=body.get("rowcount", -1),
-                    message=body.get("message"),
-                    generated_keys=body.get("generated_keys"),
-                )
-            if packet_type is not PacketType.RESULT_HEADER:
+            if packet_type is PacketType.ROW_BATCH:
+                rows.extend(tuple(r) for r in body["rows"])
+            elif packet_type is PacketType.RESULT_END:
+                break
+            elif packet_type is PacketType.ERROR:
+                raise self._server_error(body, mid_stream=True)
+            else:
                 raise ProtocolError(f"unexpected packet {packet_type.name}")
-            columns = body["columns"]
-            rows: list[tuple[Any, ...]] = []
-            while True:
-                packet_type, body = read_packet(self._sock)
-                if packet_type is PacketType.ROW_BATCH:
-                    rows.extend(tuple(r) for r in body["rows"])
-                elif packet_type is PacketType.RESULT_END:
-                    break
-                elif packet_type is PacketType.ERROR:
-                    raise ExecutionError(f"proxy error mid-stream: {body.get('message')}")
-                else:
-                    raise ProtocolError(f"unexpected packet {packet_type.name}")
-            return ProxyResult(columns, rows)
+        return ProxyResult(columns, rows)
+
+    @staticmethod
+    def _server_error(body: Any, mid_stream: bool = False) -> ExecutionError:
+        """Map an ERROR packet to the right exception; the session stays
+        usable (the server kept framing), so the client is NOT broken."""
+        body = body or {}
+        message = body.get("message")
+        if body.get("backpressure"):
+            return ServerBusyError(f"proxy backpressure: {message}")
+        where = "proxy error mid-stream" if mid_stream else "proxy error"
+        return ExecutionError(f"{where}: {message}")
 
     # -- convenience TCL -------------------------------------------------------------
 

@@ -84,3 +84,57 @@ def _read_exact(sock: socket.socket, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def decode_body(payload: bytes) -> Any:
+    """Decode one packet body (the reactor defers this to worker threads
+    so JSON cost never serializes on the single reactor thread)."""
+    if not payload:
+        return None
+    return json.loads(payload.decode("utf-8"), object_hook=_object_hook)
+
+
+class Framer:
+    """Incremental, non-blocking packet framer for the proxy reactor.
+
+    Bytes arrive from ``recv`` in arbitrary slices — possibly splitting
+    the 5-byte header itself — and :meth:`feed` buffers until whole
+    packets are available. Bodies are returned as raw payload bytes
+    (see :func:`decode_body`); malformed lengths or unknown types raise
+    :class:`ProtocolError` so the server can reject the client instead
+    of mis-framing everything after.
+    """
+
+    __slots__ = ("_buf",)
+
+    HEADER = 5
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[tuple[PacketType, bytes]]:
+        """Append received bytes; return every now-complete packet."""
+        self._buf += data
+        packets: list[tuple[PacketType, bytes]] = []
+        buf = self._buf
+        offset = 0
+        while len(buf) - offset >= self.HEADER:
+            length, type_byte = struct.unpack_from(">IB", buf, offset)
+            if length < 1 or length > MAX_PACKET:
+                raise ProtocolError(f"bad packet length {length}")
+            end = offset + self.HEADER + (length - 1)
+            if len(buf) < end:
+                break
+            try:
+                packet_type = PacketType(type_byte)
+            except ValueError:
+                raise ProtocolError(f"unknown packet type {type_byte}") from None
+            packets.append((packet_type, bytes(buf[offset + self.HEADER:end])))
+            offset = end
+        if offset:
+            del buf[:offset]
+        return packets

@@ -16,9 +16,12 @@ and publishes the current image (or a delete marker). Applying a record
 is therefore idempotent and order-tolerant per row — replicas converge to
 the primary's state even when two transactions' publish order inverts
 their execution order. Read-your-writes is layered on top with *causal
-session tokens*: every publish stamps the committing thread's session
-token with the new LSN, and the rwsplit router only considers replicas
-whose applied (or applicable-by-now) LSN covers the token.
+session tokens*: every publish stamps the committing **session's** token
+(the :class:`~repro.session.SessionContext` active on the committing
+thread — propagated across executor workers, so fan-out commits stamp
+the right session) with the new LSN, and the rwsplit router only
+considers replicas whose applied (or applicable-by-now) LSN covers the
+token.
 
 Promotion
 ---------
@@ -37,9 +40,10 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..exceptions import DataSourceUnavailableError, DuplicateKeyError, StorageError
+from ..session import current_session
 
 if TYPE_CHECKING:
     from .database import Database
@@ -50,50 +54,36 @@ if TYPE_CHECKING:
 # Causal session tokens (read-your-writes)
 # ---------------------------------------------------------------------------
 
-#: per-thread session state: the highest LSN this session has written per
-#: replication group, plus a primary-pin depth for PRIMARY-hinted reads.
-#: Sessions are thread-bound throughout the adaptors and benches, which is
-#: what makes a thread-local the right scope (documented in DESIGN.md).
-_session = threading.local()
-
-
-def _tokens() -> dict[str, int]:
-    tokens = getattr(_session, "tokens", None)
-    if tokens is None:
-        tokens = _session.tokens = {}
-    return tokens
+# Causal tokens live on the SessionContext (repro.session): the highest
+# LSN the session has written per replication group, plus a primary-pin
+# depth for PRIMARY-hinted reads. The module-level functions below keep
+# the historical API — they resolve the *current* session, which is
+# thread-scoped unless explicitly propagated across a thread boundary
+# (see DESIGN.md "Sessions & the proxy reactor").
 
 
 def session_token(group: str) -> int:
-    """Highest LSN this session has written in ``group`` (0 = none)."""
-    return _tokens().get(group, 0)
+    """Highest LSN the current session has written in ``group`` (0 = none)."""
+    return current_session().token(group)
 
 
 def note_write(group: str, lsn: int) -> None:
-    """Advance this session's causal token for ``group`` to ``lsn``."""
-    tokens = _tokens()
-    if lsn > tokens.get(group, 0):
-        tokens[group] = lsn
+    """Advance the current session's causal token for ``group`` to ``lsn``."""
+    current_session().note_write(group, lsn)
 
 
 def reset_session() -> None:
-    """Forget this thread's causal tokens (a brand-new session)."""
-    _session.tokens = {}
-    _session.pin_depth = 0
+    """Forget the current session's causal tokens (a brand-new session)."""
+    current_session().reset()
 
 
-@contextlib.contextmanager
-def pin_primary() -> Iterator[None]:
+def pin_primary() -> "contextlib.AbstractContextManager[None]":
     """Force reads in this block to the primary (the PRIMARY hint)."""
-    _session.pin_depth = getattr(_session, "pin_depth", 0) + 1
-    try:
-        yield
-    finally:
-        _session.pin_depth -= 1
+    return current_session().pin()
 
 
 def primary_pinned() -> bool:
-    return getattr(_session, "pin_depth", 0) > 0
+    return current_session().pinned
 
 
 # ---------------------------------------------------------------------------

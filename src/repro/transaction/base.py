@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 import enum
 import itertools
+import threading
 import uuid
 from typing import Mapping
 
@@ -54,19 +55,28 @@ class DistributedTransaction(abc.ABC):
         self.xid = new_xid()
         self.connections: dict[str, Connection] = {}
         self._finished = False
+        self._pin_lock = threading.Lock()
 
     # -- participant management ------------------------------------------
 
     def connection_for(self, ds_name: str) -> Connection:
-        """Pin (lazily) the transaction's connection to one data source."""
+        """Pin (lazily) the transaction's connection to one data source.
+
+        Locked: a fanned-out statement inside the transaction reaches
+        this from several executor workers at once, and racing pins
+        would acquire (and leak) duplicate connections for one source.
+        """
         self._check_active()
         connection = self.connections.get(ds_name)
         if connection is None:
-            source = self.data_sources[ds_name]
-            connection = source.pool.acquire()
-            connection.begin()
-            self.connections[ds_name] = connection
-            self.on_branch_started(ds_name, connection)
+            with self._pin_lock:
+                connection = self.connections.get(ds_name)
+                if connection is None:
+                    source = self.data_sources[ds_name]
+                    connection = source.pool.acquire()
+                    connection.begin()
+                    self.connections[ds_name] = connection
+                    self.on_branch_started(ds_name, connection)
         return connection
 
     def on_branch_started(self, ds_name: str, connection: Connection) -> None:
